@@ -1,0 +1,76 @@
+"""Figure 6: MLP and Attention improvement over StreamSync (GPT-3 and LLaMA)."""
+
+import pytest
+
+from repro.bench import figure6_llm, format_percent, format_table
+
+PROMPT_SIZES = (256, 512, 1024, 2048)
+TOKEN_CONFIGS = ((1, 512), (4, 2048))
+
+
+def _print(rows, title, policies):
+    print()
+    print(
+        format_table(
+            ["model", "block", "BxS", "S'", *policies, "StreamK", "best"],
+            [
+                [
+                    row["model"],
+                    row["block"],
+                    row["batch_seq"],
+                    row["cached"],
+                    *[format_percent(row[p]) if p in row else "-" for p in policies],
+                    format_percent(row["StreamK"]) if "StreamK" in row else "-",
+                    format_percent(row["best"]),
+                ]
+                for row in rows
+            ],
+            title=title,
+        )
+    )
+
+
+def test_fig6a_gpt3_mlp(bench_once, benchmark):
+    rows = bench_once(benchmark, figure6_llm, "gpt3", "mlp", PROMPT_SIZES)
+    _print(rows, "Figure 6(a): GPT-3 MLP improvement over StreamSync", ["TileSync", "RowSync"])
+    by_size = {row["batch_seq"]: row for row in rows}
+    # Paper shape: the improvement peaks in the 256-1024 range and is the
+    # smallest at the largest size; cuSync beats Stream-K at large sizes.
+    assert by_size[512]["best"] > 0.10
+    assert by_size[1024]["best"] > 0.05
+    assert by_size[2048]["best"] < by_size[512]["best"]
+    assert by_size[2048]["best"] >= by_size[2048]["StreamK"] - 0.02
+
+
+def test_fig6b_gpt3_attention(bench_once, benchmark):
+    rows = bench_once(
+        benchmark, figure6_llm, "gpt3", "attention", (512, 2048), TOKEN_CONFIGS
+    )
+    _print(
+        rows,
+        "Figure 6(b): GPT-3 Attention improvement over StreamSync",
+        ["TileSync", "RowSync", "StridedTileSync"],
+    )
+    # cuSync's best policy should never lose more than a few percent, for
+    # any prompt or token-generation configuration.
+    assert all(row["best"] > -0.05 for row in rows)
+
+
+def test_fig6c_llama_mlp(bench_once, benchmark):
+    rows = bench_once(benchmark, figure6_llm, "llama", "mlp", (512, 1024, 2048))
+    _print(rows, "Figure 6(c): LLaMA MLP improvement over StreamSync", ["TileSync", "RowSync"])
+    by_size = {row["batch_seq"]: row for row in rows}
+    assert by_size[1024]["best"] > 0.05
+    assert all(row["best"] > -0.05 for row in rows)
+
+
+def test_fig6d_llama_attention(bench_once, benchmark):
+    rows = bench_once(
+        benchmark, figure6_llm, "llama", "attention", (512,), ((4, 2048),)
+    )
+    _print(
+        rows,
+        "Figure 6(d): LLaMA Attention improvement over StreamSync",
+        ["TileSync", "RowSync", "StridedTileSync"],
+    )
+    assert all(row["best"] > -0.05 for row in rows)

@@ -1,0 +1,40 @@
+"""Figure 7: Conv2D-chain improvement over StreamSync (ResNet-38 / VGG-19)."""
+
+from repro.bench import figure7_conv, format_percent, format_table
+
+
+def _print(rows, title):
+    print()
+    print(
+        format_table(
+            ["model", "channels", "batch", "convs", "RowSync", "Conv2DTileSync", "best"],
+            [
+                [
+                    row["model"],
+                    row["channels"],
+                    row["batch"],
+                    row["convs"],
+                    format_percent(row["RowSync"]),
+                    format_percent(row["Conv2DTileSync"]),
+                    format_percent(row["best"]),
+                ]
+                for row in rows
+            ],
+            title=title,
+        )
+    )
+
+
+def test_fig7ab_resnet(bench_once, benchmark):
+    rows = bench_once(benchmark, figure7_conv, "resnet", (64, 128, 256, 512), (1, 4, 16))
+    _print(rows, "Figure 7(a,b): ResNet-38 Conv2D layers, improvement over StreamSync")
+    # Paper shape: every layer shape shows a positive best improvement,
+    # within the 0-30% band the paper reports.
+    assert all(row["best"] > 0.0 for row in rows)
+    assert all(row["best"] < 0.40 for row in rows)
+
+
+def test_fig7c_vgg(bench_once, benchmark):
+    rows = bench_once(benchmark, figure7_conv, "vgg", (256, 512), (1, 8))
+    _print(rows, "Figure 7(c): VGG-19 Conv2D layers (4 convs), improvement over StreamSync")
+    assert all(row["best"] > 0.0 for row in rows)

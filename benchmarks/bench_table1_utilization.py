@@ -1,0 +1,32 @@
+"""Table I: thread blocks, waves and GPU utilization of GPT-3's MLP GeMMs."""
+
+from repro.bench import format_table, table1_utilization
+
+
+def test_table1_utilization(bench_once, benchmark):
+    rows = bench_once(benchmark, table1_utilization, (256, 512, 1024))
+    print()
+    print(
+        format_table(
+            ["BxS", "GeMM", "grid", "TBs", "TBs/wave", "waves", "utilization"],
+            [
+                [
+                    row["batch"],
+                    row["gemm"],
+                    row["grid"],
+                    row["thread_blocks"],
+                    row["blocks_per_wave"],
+                    row["waves"],
+                    f"{row['utilization'] * 100:.0f}%",
+                ]
+                for row in rows
+            ],
+            title="Table I: GPT-3 MLP GeMMs on Tesla V100 (80 SMs)",
+        )
+    )
+    # The paper's qualitative claims: every configuration leaves the final
+    # wave under-utilized (utilization < 100%), and utilization rises with
+    # the batch size from 256/512 to 1024.
+    assert all(row["utilization"] < 1.0 for row in rows)
+    batch_util = {row["batch"]: row["utilization"] for row in rows if row["gemm"] == "Producer"}
+    assert batch_util[1024] >= batch_util[256]

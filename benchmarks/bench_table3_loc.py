@@ -1,0 +1,23 @@
+"""Table III: lines changed in each kernel to adopt cuSync."""
+
+from repro.bench import format_table, table3_lines_changed
+
+
+def test_table3_lines_changed(bench_once, benchmark):
+    rows = bench_once(benchmark, table3_lines_changed)
+    print()
+    print(
+        format_table(
+            ["Kernel", "Total lines", "Lines changed", "Fraction"],
+            [
+                [row["kernel"], row["total_lines"], row["lines_changed"], f"{row['fraction'] * 100:.1f}%"]
+                for row in rows
+            ],
+            title="Table III: cuSync integration effort per kernel",
+        )
+    )
+    # The paper reports the integration touches only a tiny fraction of each
+    # kernel (<= ~1-2% of its lines, a handful of call sites).
+    for row in rows:
+        assert row["lines_changed"] <= 10
+        assert row["fraction"] < 0.05

@@ -1,0 +1,49 @@
+"""Table IV: StreamSync vs cuSync waves and execution times for GPT-3's MLP."""
+
+from repro.bench import format_percent, format_table, table4_mlp
+
+
+def test_table4_mlp(bench_once, benchmark):
+    rows = bench_once(benchmark, table4_mlp, (64, 256, 512, 1024, 2048))
+    print()
+    print(
+        format_table(
+            [
+                "BxS",
+                "grid 1st",
+                "waves 1st",
+                "grid 2nd",
+                "waves 2nd",
+                "StreamSync us",
+                "cuSync us",
+                "policy",
+                "reduction",
+            ],
+            [
+                [
+                    row["batch"],
+                    row["grid_first"],
+                    row["waves_first"],
+                    row["grid_second"],
+                    row["waves_second"],
+                    row["streamsync_us"],
+                    row["cusync_us"],
+                    row["best_policy"],
+                    format_percent(row["reduction"]),
+                ]
+                for row in rows
+            ],
+            title="Table IV: GPT-3 MLP, StreamSync vs cuSync (best policy)",
+        )
+    )
+    by_batch = {row["batch"]: row for row in rows}
+    # Shape checks from the paper: the mid sizes (256-1024) benefit the
+    # most, the largest size benefits least among the mid-to-large range,
+    # and cuSync never loses badly anywhere.
+    assert by_batch[512]["reduction"] > 0.10
+    assert by_batch[1024]["reduction"] > 0.05
+    assert by_batch[2048]["reduction"] < by_batch[512]["reduction"]
+    assert all(row["reduction"] > -0.05 for row in rows)
+    # TileSync wins at 256 while RowSync wins at the larger sizes.
+    assert by_batch[256]["best_policy"] == "TileSync"
+    assert by_batch[2048]["best_policy"] == "RowSync"

@@ -1,0 +1,38 @@
+"""Table V: impact of the W/R/T optimizations on TileSync / Conv2DTileSync."""
+
+from repro.bench import format_table, table5_conv_optimizations, table5_mlp_optimizations
+
+LADDER = ("Vanilla", "+R", "+WR", "+WRT")
+
+
+def test_table5_mlp_optimizations(bench_once, benchmark):
+    rows = bench_once(benchmark, table5_mlp_optimizations, 64)
+    print()
+    print(
+        format_table(
+            ["BxS", "policy", *LADDER],
+            [[row["batch"], row["policy"], *[row[step] for step in LADDER]] for row in rows],
+            title="Table V(a): GPT-3 MLP, TileSync with optimizations (us)",
+        )
+    )
+    row = rows[0]
+    # Each added optimization must not hurt, and the full set must help.
+    assert row["+WRT"] <= row["Vanilla"] + 1e-6
+    assert row["+WR"] <= row["Vanilla"] + 1e-6
+
+
+def test_table5_conv_optimizations(bench_once, benchmark):
+    rows = bench_once(benchmark, table5_conv_optimizations, (64, 128, 256, 512), (1,))
+    print()
+    print(
+        format_table(
+            ["Channels", "Batch", "policy", *LADDER],
+            [
+                [row["channels"], row["batch"], row["policy"], *[row[step] for step in LADDER]]
+                for row in rows
+            ],
+            title="Table V(b): ResNet Conv2D, Conv2DTileSync with optimizations (us)",
+        )
+    )
+    for row in rows:
+        assert row["+WRT"] <= row["Vanilla"] + 1e-6

@@ -1,0 +1,20 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation.  The simulated workloads are deterministic, so a single
+benchmark round is representative; the pytest-benchmark fixture is used in
+``pedantic`` mode to time one full regeneration of each artifact while the
+printed table records the paper-shape result itself.
+"""
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Time ``function`` once through pytest-benchmark and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+@pytest.fixture
+def bench_once():
+    return run_once

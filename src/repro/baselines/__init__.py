@@ -1,0 +1,17 @@
+"""Baselines the paper compares cuSync against.
+
+* :mod:`repro.baselines.streamsync` — **StreamSync**: all kernels on one
+  CUDA stream, so a consumer kernel starts only after every thread block of
+  its producer finished.  This is the default way ML frameworks execute
+  dependent operators and the baseline all improvements are reported
+  against.
+* :mod:`repro.baselines.streamk` — **Stream-K** [Osama et al., PPoPP'23]:
+  each GeMM individually improves its final-wave utilization by splitting
+  the remaining tiles' MAC iterations across one full wave of blocks;
+  dependent kernels still use stream synchronization between them.
+"""
+
+from repro.baselines.streamsync import StreamSyncExecutor
+from repro.baselines.streamk import StreamKExecutor
+
+__all__ = ["StreamSyncExecutor", "StreamKExecutor"]

@@ -1,0 +1,74 @@
+"""StreamSync baseline: dependent kernels serialized on one CUDA stream."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.arch import GpuArchitecture, TESLA_V100
+from repro.gpu.costmodel import CostModel
+from repro.gpu.kernel import KernelLaunch
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.stream import Stream
+from repro.kernels.base import NoSync, TiledKernel
+from repro.cusync.handle import PipelineResult
+
+
+class StreamSyncExecutor:
+    """Run a sequence of kernels with CUDA stream synchronization.
+
+    Every kernel is stripped of fine-grained synchronization (its ``sync``
+    is replaced with :class:`~repro.kernels.base.NoSync`) and all kernels
+    are launched on a single stream, which is exactly how the paper's
+    StreamSync baseline executes dependent computations.
+    """
+
+    def __init__(
+        self,
+        arch: GpuArchitecture = TESLA_V100,
+        cost_model: Optional[CostModel] = None,
+        functional: bool = False,
+    ) -> None:
+        self.arch = arch
+        self.cost_model = cost_model if cost_model is not None else CostModel(arch=arch)
+        self.functional = functional
+
+    def build_launches(self, kernels: Sequence[TiledKernel]) -> List[KernelLaunch]:
+        if not kernels:
+            raise SimulationError("StreamSyncExecutor needs at least one kernel")
+        stream = Stream(priority=0, name="stream_sync")
+        launches: List[KernelLaunch] = []
+        for kernel in kernels:
+            kernel.sync = NoSync()
+            kernel.cost_model = self.cost_model
+            kernel.functional = self.functional
+            launches.append(kernel.build_launch(stream=stream))
+        return launches
+
+    def run(
+        self,
+        kernels: Sequence[TiledKernel],
+        memory: Optional[GlobalMemory] = None,
+        tensors: Optional[Dict[str, np.ndarray]] = None,
+    ) -> PipelineResult:
+        """Execute ``kernels`` back to back on one stream."""
+        memory = memory if memory is not None else GlobalMemory()
+        if tensors:
+            for name, array in tensors.items():
+                memory.store_tensor(name, array)
+        if self.functional:
+            for kernel in kernels:
+                kernel.allocate_functional_tensors(memory)
+
+        launches = self.build_launches(kernels)
+        simulator = GpuSimulator(
+            arch=self.arch,
+            memory=memory,
+            cost_model=self.cost_model,
+            functional=self.functional,
+        )
+        result = simulator.run(launches)
+        return PipelineResult(simulation=result, stage_names=[k.name for k in kernels])

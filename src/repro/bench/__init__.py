@@ -1,0 +1,35 @@
+"""Benchmark harness: one experiment per table / figure of the paper.
+
+:mod:`repro.bench.experiments` contains a function per evaluation artifact
+(Table I, III, IV, V; Figures 6, 7, 8; the Section V-D overhead study).
+Each returns structured rows so tests can assert the qualitative shape and
+the ``benchmarks/`` suite can print paper-style tables;
+:mod:`repro.bench.reporting` renders them.
+"""
+
+from repro.bench.reporting import format_table, format_percent
+from repro.bench.experiments import (
+    table1_utilization,
+    table3_lines_changed,
+    table4_mlp,
+    table5_mlp_optimizations,
+    table5_conv_optimizations,
+    figure6_llm,
+    figure7_conv,
+    figure8_end_to_end,
+    overhead_experiment,
+)
+
+__all__ = [
+    "format_table",
+    "format_percent",
+    "table1_utilization",
+    "table3_lines_changed",
+    "table4_mlp",
+    "table5_mlp_optimizations",
+    "table5_conv_optimizations",
+    "figure6_llm",
+    "figure7_conv",
+    "figure8_end_to_end",
+    "overhead_experiment",
+]

@@ -1,0 +1,40 @@
+"""Plain-text rendering of experiment results."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_percent(fraction: float, digits: int = 1) -> str:
+    """Render a fractional improvement as a percentage string."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = "") -> str:
+    """Render rows as an aligned plain-text table (paper-style)."""
+    materialized: List[List[str]] = [[_cell(value) for value in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(str(cell).ljust(widths[index]) for index, cell in enumerate(cells))
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line([str(h) for h in headers]))
+    out.append(line(["-" * width for width in widths]))
+    for row in materialized:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)

@@ -1,0 +1,107 @@
+"""Tile coordinates and tile enumeration helpers.
+
+A *tile* is the unit of work the paper synchronizes on: the sub-matrix of the
+output that one thread block computes.  Tile coordinates are plain
+:class:`~repro.common.dim3.Dim3` values, but this module adds the helpers the
+rest of the library relies on:
+
+* :func:`linearize` / :func:`delinearize` convert between a 3-D tile
+  coordinate and its row-major linear index inside a grid, which is how
+  cuSync maps thread blocks to semaphores and tile-processing orders.
+* :class:`TileRange` enumerates a rectangular sub-range of a grid, which the
+  DSL's ``ForAll`` construct lowers to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.common.dim3 import Dim3
+
+#: Alias used throughout the code base: a tile coordinate is a Dim3.
+TileCoord = Dim3
+
+
+def linearize(tile: Dim3, grid: Dim3) -> int:
+    """Row-major linear index of ``tile`` inside ``grid``.
+
+    The layout matches the paper's ``RowMajor`` order: x varies fastest, then
+    y, then z (``tile.z * grid.y * grid.x + tile.y * grid.x + tile.x``).
+    """
+    if not grid.contains(tile):
+        raise IndexError(f"tile {tile} is outside grid {grid}")
+    return (tile.z * grid.y + tile.y) * grid.x + tile.x
+
+
+def delinearize(index: int, grid: Dim3) -> Dim3:
+    """Inverse of :func:`linearize`."""
+    if index < 0 or index >= grid.volume:
+        raise IndexError(f"linear index {index} outside grid {grid} with volume {grid.volume}")
+    x = index % grid.x
+    rest = index // grid.x
+    y = rest % grid.y
+    z = rest // grid.y
+    return Dim3(x, y, z)
+
+
+def iter_tiles(grid: Dim3) -> Iterator[Dim3]:
+    """Iterate all tile coordinates of ``grid`` in row-major order."""
+    for z in range(grid.z):
+        for y in range(grid.y):
+            for x in range(grid.x):
+                yield Dim3(x, y, z)
+
+
+@dataclass(frozen=True)
+class TileRange:
+    """A rectangular, half-open range of tile coordinates.
+
+    ``lo`` is inclusive and ``hi`` is exclusive in each dimension.  The DSL's
+    ``ForAll(tile, dim, Range(n))`` construct produces a :class:`TileRange`
+    spanning the full extent of one dimension while pinning the others.
+    """
+
+    lo: Dim3
+    hi: Dim3
+
+    def __post_init__(self) -> None:
+        if self.hi.x < self.lo.x or self.hi.y < self.lo.y or self.hi.z < self.lo.z:
+            raise ValueError(f"TileRange upper bound {self.hi} below lower bound {self.lo}")
+
+    @property
+    def extent(self) -> Dim3:
+        """Size of the range in each dimension."""
+        return Dim3(self.hi.x - self.lo.x, self.hi.y - self.lo.y, self.hi.z - self.lo.z)
+
+    @property
+    def count(self) -> int:
+        """Number of tiles in the range."""
+        return self.extent.volume
+
+    def __iter__(self) -> Iterator[Dim3]:
+        for z in range(self.lo.z, self.hi.z):
+            for y in range(self.lo.y, self.hi.y):
+                for x in range(self.lo.x, self.hi.x):
+                    yield Dim3(x, y, z)
+
+    def __contains__(self, tile: Dim3) -> bool:
+        return (
+            self.lo.x <= tile.x < self.hi.x
+            and self.lo.y <= tile.y < self.hi.y
+            and self.lo.z <= tile.z < self.hi.z
+        )
+
+    def tiles(self) -> List[Dim3]:
+        """All tile coordinates of the range in row-major order."""
+        return list(self)
+
+    @classmethod
+    def full(cls, grid: Dim3) -> "TileRange":
+        """The range covering an entire grid."""
+        return cls(Dim3(0, 0, 0), grid)
+
+    @classmethod
+    def single(cls, tile: Dim3) -> "TileRange":
+        """The range containing exactly one tile."""
+        return cls(tile, Dim3(tile.x + 1, tile.y + 1, tile.z + 1))

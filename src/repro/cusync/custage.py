@@ -1,0 +1,254 @@
+"""``CuStage``: the synchronization state of one kernel in a pipeline.
+
+A stage wraps one kernel launch and provides everything the paper's
+``CuStage`` object provides (Figure 4):
+
+* ``tile()`` — the custom tile processing order (installed in the launch as
+  a dispatch-counter → tile lookup);
+* ``start()`` — the stage-start flag posted when the first block begins,
+  which releases the consumer's wait-kernel;
+* ``wait()`` — expressed here as :meth:`plan_reads`: the stage splits a
+  consumer's read of a producer-owned tensor into chunks and attaches the
+  semaphore waits dictated by the *producer's* policy;
+* ``post()`` — :meth:`posts_for`: the semaphore increment performed after an
+  output tile is complete.
+
+Dependencies are declared between stages (``CuSync::dependency`` in the
+paper); each dependency may carry a *range map* that translates element
+coordinates of the consumer's read into coordinates of the producer's
+output — this is how sliced/strided dependences (the Q/K/V slices of the
+attention QKV GeMM, Figure 5b) are expressed, and it is exactly the affine
+dependence information cuSyncGen extracts from the DSL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.dim3 import Dim3, ceil_div
+from repro.errors import SynchronizationError
+from repro.gpu.kernel import SemPost, SemWait, TensorAccess, TileOrderFn
+from repro.kernels.base import IndexRange, ReadPlanStep, StageGeometry, SyncInterface
+from repro.cusync.optimizations import OptimizationFlags
+from repro.cusync.policies import SyncPolicy, TileSync
+from repro.cusync.semaphores import STAGE_START_ARRAY, stage_semaphore_array
+from repro.cusync.tile_orders import RowMajorOrder, TileOrder
+
+#: Maps (rows, cols, batch) of a consumer read to the producer's coordinates.
+RangeMap = Callable[[IndexRange, IndexRange, int], Tuple[IndexRange, IndexRange, int]]
+
+
+@dataclass
+class Dependency:
+    """One producer → consumer edge for a specific tensor."""
+
+    producer: "CuStage"
+    tensor: str
+    range_map: Optional[RangeMap] = None
+
+
+class CuStage(SyncInterface):
+    """Synchronization facilities of one kernel (the paper's ``CuStage``)."""
+
+    def __init__(
+        self,
+        name: str,
+        geometry: StageGeometry,
+        policy: Optional[SyncPolicy] = None,
+        order: Optional[TileOrder] = None,
+        optimizations: Optional[OptimizationFlags] = None,
+    ) -> None:
+        self.name = name
+        self.geometry = geometry
+        self.policy = policy if policy is not None else TileSync()
+        self.order = order if order is not None else RowMajorOrder()
+        self.optimizations = optimizations if optimizations is not None else OptimizationFlags()
+        #: Index of the stage within its pipeline; set by the pipeline.
+        self.stage_index: int = 0
+        #: Dependencies of this stage, keyed by the tensor it reads.
+        self.dependencies: Dict[str, Dependency] = {}
+        #: Stages that consume this stage's output.
+        self.consumers: List["CuStage"] = []
+        # Validate the policy against the logical grid up front (the bounds
+        # check cuSyncGen performs in step 2 of its workflow).
+        self.policy.validate(self.logical_grid)
+
+    # ------------------------------------------------------------------
+    # Geometry helpers
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> Dim3:
+        """The launch grid of the stage's kernel (includes split-K blocks)."""
+        return self.geometry.grid
+
+    @property
+    def logical_grid(self) -> Dim3:
+        """The grid of logical output tiles (split-K folded away)."""
+        return self.geometry.logical_grid
+
+    @property
+    def semaphore_array(self) -> str:
+        """Name of this stage's semaphore array in global memory."""
+        return stage_semaphore_array(self.name)
+
+    @property
+    def posts_per_tile(self) -> int:
+        """How many posts one logical tile receives (split-K contributions)."""
+        return self.geometry.split_k
+
+    def logical_tile(self, tile: Dim3) -> Dim3:
+        """Fold a launch-grid tile coordinate into its logical tile."""
+        return Dim3(tile.x, tile.y, tile.z // self.geometry.split_k)
+
+    # ------------------------------------------------------------------
+    # Dependency declaration (CuSync::dependency in the paper)
+    # ------------------------------------------------------------------
+    def depends_on(self, producer: "CuStage", tensor: str, range_map: Optional[RangeMap] = None) -> None:
+        """Declare that this stage reads ``tensor`` produced by ``producer``."""
+        if tensor in self.dependencies:
+            raise SynchronizationError(
+                f"stage '{self.name}' already has a dependency for tensor '{tensor}'"
+            )
+        self.dependencies[tensor] = Dependency(producer=producer, tensor=tensor, range_map=range_map)
+        producer.consumers.append(self)
+
+    @property
+    def is_consumer(self) -> bool:
+        return bool(self.dependencies)
+
+    @property
+    def is_producer(self) -> bool:
+        return bool(self.consumers)
+
+    # ------------------------------------------------------------------
+    # SyncInterface: consumer side
+    # ------------------------------------------------------------------
+    @property
+    def reorder_loads(self) -> bool:  # type: ignore[override]
+        return self.optimizations.reorder_loads
+
+    def plan_reads(
+        self, tensor: str, rows: IndexRange, cols: IndexRange, batch: int = 0
+    ) -> List[ReadPlanStep]:
+        dependency = self.dependencies.get(tensor)
+        if dependency is None:
+            return [ReadPlanStep(rows=rows, cols=cols, batch=batch)]
+        if dependency.range_map is not None:
+            rows, cols, batch = dependency.range_map(rows, cols, batch)
+        return dependency.producer.plan_consumer_reads(tensor, rows, cols, batch)
+
+    def plan_consumer_reads(
+        self, tensor: str, rows: IndexRange, cols: IndexRange, batch: int
+    ) -> List[ReadPlanStep]:
+        """Producer-side mapping: element ranges of *my output* → guarded chunks.
+
+        One chunk is emitted per column tile (the consumer's main-loop
+        direction); consecutive chunks whose semaphore requirements are
+        identical are merged, which collapses RowSync dependences into a
+        single wait covering the whole range.
+        """
+        geometry = self.geometry
+        grid = self.logical_grid
+        if not (0 <= batch < grid.z):
+            raise SynchronizationError(
+                f"stage '{self.name}': consumer read references batch {batch} "
+                f"outside the producer's batch range [0, {grid.z})"
+            )
+
+        row_lo = max(0, rows[0]) // geometry.tile_rows
+        row_hi = min(grid.y, ceil_div(max(rows[1], rows[0] + 1), geometry.tile_rows))
+        col_lo = max(0, cols[0]) // geometry.tile_cols
+        col_hi = min(grid.x, ceil_div(max(cols[1], cols[0] + 1), geometry.tile_cols))
+        row_hi = max(row_hi, row_lo + 1)
+        col_hi = max(col_hi, col_lo + 1)
+
+        steps: List[ReadPlanStep] = []
+        previous_requirements: Optional[Tuple[Tuple[int, int], ...]] = None
+        for tile_col in range(col_lo, col_hi):
+            requirements: Dict[int, int] = {}
+            reads: List[TensorAccess] = []
+            for tile_row in range(row_lo, row_hi):
+                tile = Dim3(tile_col, tile_row, batch)
+                semaphore = self.policy.semaphore_index(tile, grid)
+                required = self.policy.expected_value(tile, grid) * self.posts_per_tile
+                requirements[semaphore] = max(requirements.get(semaphore, 0), required)
+                reads.append(TensorAccess(tensor, (tile_col, tile_row, batch)))
+
+            chunk_cols = (
+                max(cols[0], tile_col * geometry.tile_cols),
+                min(cols[1], (tile_col + 1) * geometry.tile_cols),
+            )
+            normalized = tuple(sorted(requirements.items()))
+            if steps and normalized == previous_requirements:
+                # Same semaphores as the previous chunk: extend it instead of
+                # waiting again (this is what makes RowSync one wait total).
+                last = steps[-1]
+                steps[-1] = ReadPlanStep(
+                    rows=last.rows,
+                    cols=(last.cols[0], chunk_cols[1]),
+                    waits=last.waits,
+                    reads=tuple(list(last.reads) + reads),
+                    batch=batch,
+                )
+                continue
+            waits = tuple(
+                SemWait(self.semaphore_array, semaphore, required)
+                for semaphore, required in normalized
+            )
+            steps.append(
+                ReadPlanStep(rows=rows, cols=chunk_cols, waits=waits, reads=tuple(reads), batch=batch)
+            )
+            previous_requirements = normalized
+        return steps
+
+    # ------------------------------------------------------------------
+    # SyncInterface: producer side
+    # ------------------------------------------------------------------
+    def posts_for(self, tile: Dim3, grid: Dim3) -> List[SemPost]:
+        if not self.is_producer:
+            return []
+        logical = self.logical_tile(tile)
+        semaphore = self.policy.semaphore_index(logical, self.logical_grid)
+        return [SemPost(self.semaphore_array, semaphore, 1)]
+
+    def output_tile_key(self, tile: Dim3, grid: Dim3):
+        logical = self.logical_tile(tile)
+        return (logical.x, logical.y, logical.z)
+
+    def tile_order(self, grid: Dim3) -> Optional[TileOrderFn]:
+        if self.optimizations.avoid_custom_tile_order:
+            return None
+        return self.order.order_fn(grid)
+
+    def first_block_posts(self) -> List[SemPost]:
+        # Posting the start flag is cheap and only matters when a consumer's
+        # wait-kernel polls it, so it is emitted whenever the stage has
+        # consumers (the producer cannot know whether the consumer elided
+        # its wait-kernel).
+        if not self.is_producer:
+            return []
+        return [SemPost(STAGE_START_ARRAY, self.stage_index, 1)]
+
+    # ------------------------------------------------------------------
+    # Wait-kernel support (consumer side)
+    # ------------------------------------------------------------------
+    def wait_kernel_waits(self) -> List[SemWait]:
+        """Semaphore conditions the stage's wait-kernel polls."""
+        producers = {dep.producer.stage_index for dep in self.dependencies.values()}
+        return [SemWait(STAGE_START_ARRAY, index, 1) for index in sorted(producers)]
+
+    def needs_wait_kernel(self) -> bool:
+        """Whether a wait-kernel must precede this stage's kernel."""
+        return self.is_consumer and not self.optimizations.avoid_wait_kernel
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return (
+            f"CuStage({self.name}, grid={self.grid}, policy={self.policy.name}, "
+            f"order={self.order.name}, opts={self.optimizations.suffix or 'none'})"
+        )
+
+    def __repr__(self) -> str:
+        return self.describe()

@@ -1,0 +1,238 @@
+"""Pipeline assembly: stages, dependencies, wait-kernels and execution.
+
+:class:`CuSyncPipeline` is the user-facing entry point and corresponds to
+the host-side code of the paper's Figure 4a (the ``MLP`` function): create a
+stage per kernel, declare dependencies between stages, and invoke the
+kernels — each on its own stream, with a wait-kernel in front of every
+consumer unless the W optimization elides it.
+
+The pipeline builds plain :class:`~repro.gpu.kernel.KernelLaunch` objects
+and runs them on the :class:`~repro.gpu.simulator.GpuSimulator`; a
+:class:`PipelineResult` wraps the simulation outcome with stage-aware
+accessors used by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.common.dim3 import Dim3
+from repro.errors import SynchronizationError
+from repro.gpu.arch import GpuArchitecture, TESLA_V100
+from repro.gpu.costmodel import CostModel
+from repro.gpu.kernel import KernelLaunch, Segment, ThreadBlockProgram
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.simulator import GpuSimulator, SimulationResult
+from repro.gpu.stream import Stream
+from repro.kernels.base import TiledKernel
+from repro.cusync.custage import CuStage, RangeMap
+from repro.cusync.optimizations import OptimizationFlags
+from repro.cusync.policies import SyncPolicy
+from repro.cusync.semaphores import SemaphoreAllocator
+from repro.cusync.tile_orders import TileOrder
+
+#: Occupancy of the single-block wait-kernel (it uses almost no resources).
+WAIT_KERNEL_OCCUPANCY = 32
+
+
+@dataclass
+class _StageEntry:
+    stage: CuStage
+    kernel: TiledKernel
+    stream: Optional[Stream] = None
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of running a synchronized pipeline on the simulator."""
+
+    simulation: SimulationResult
+    stage_names: List[str] = field(default_factory=list)
+    wait_kernel_names: List[str] = field(default_factory=list)
+
+    @property
+    def total_time_us(self) -> float:
+        """End-to-end time of the pipeline (host launch to last block end)."""
+        return self.simulation.total_time_us
+
+    @property
+    def memory(self) -> GlobalMemory:
+        return self.simulation.memory
+
+    def kernel_duration_us(self, name: str) -> float:
+        return self.simulation.kernel_duration_us(name)
+
+    def total_wait_time_us(self) -> float:
+        """Total busy-wait time across all blocks (synchronization cost)."""
+        return self.simulation.trace.total_wait_time_us()
+
+    def tensor(self, name: str) -> np.ndarray:
+        """Fetch a tensor from simulated global memory (functional mode)."""
+        return self.memory.tensor(name)
+
+    def summary(self) -> str:
+        return self.simulation.trace.summary()
+
+
+class CuSyncPipeline:
+    """A set of dependent kernels synchronized with cuSync.
+
+    Typical use (two dependent GeMMs, as in the paper's MLP example)::
+
+        pipeline = CuSyncPipeline()
+        prod = pipeline.add_stage(gemm1, policy=RowSync())
+        cons = pipeline.add_stage(gemm2, policy=RowSync())
+        pipeline.add_dependency(prod, cons, tensor="XW1")
+        result = pipeline.run()
+    """
+
+    def __init__(
+        self,
+        arch: GpuArchitecture = TESLA_V100,
+        cost_model: Optional[CostModel] = None,
+        functional: bool = False,
+    ) -> None:
+        self.arch = arch
+        self.cost_model = cost_model if cost_model is not None else CostModel(arch=arch)
+        self.functional = functional
+        self._entries: List[_StageEntry] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_stage(
+        self,
+        kernel: TiledKernel,
+        policy: Optional[SyncPolicy] = None,
+        order: Optional[TileOrder] = None,
+        optimizations: Optional[OptimizationFlags] = None,
+        name: Optional[str] = None,
+    ) -> CuStage:
+        """Wrap ``kernel`` in a stage and register it with the pipeline.
+
+        Stages must be added in producer-before-consumer order (the order
+        kernels are launched on the host).
+        """
+        stage = CuStage(
+            name=name if name is not None else kernel.name,
+            geometry=kernel.stage_geometry(),
+            policy=policy,
+            order=order,
+            optimizations=optimizations,
+        )
+        stage.stage_index = len(self._entries)
+        kernel.sync = stage
+        kernel.cost_model = self.cost_model
+        kernel.functional = self.functional
+        self._entries.append(_StageEntry(stage=stage, kernel=kernel))
+        return stage
+
+    def add_dependency(
+        self,
+        producer: CuStage,
+        consumer: CuStage,
+        tensor: str,
+        range_map: Optional[RangeMap] = None,
+    ) -> None:
+        """Declare ``consumer`` reads ``tensor`` produced by ``producer``."""
+        consumer.depends_on(producer, tensor, range_map=range_map)
+
+    @property
+    def stages(self) -> List[CuStage]:
+        return [entry.stage for entry in self._entries]
+
+    @property
+    def kernels(self) -> List[TiledKernel]:
+        return [entry.kernel for entry in self._entries]
+
+    # ------------------------------------------------------------------
+    # Launch assembly
+    # ------------------------------------------------------------------
+    def build_launches(self, memory: GlobalMemory) -> List[KernelLaunch]:
+        """Allocate semaphores and assemble the launch sequence."""
+        if not self._entries:
+            raise SynchronizationError("pipeline has no stages")
+        self._check_topological_order()
+        SemaphoreAllocator(memory).allocate(self.stages)
+
+        launches: List[KernelLaunch] = []
+        for entry in self._entries:
+            stage = entry.stage
+            stream = Stream(priority=stage.stage_index, name=f"stream_{stage.name}")
+            entry.stream = stream
+            if stage.needs_wait_kernel():
+                launches.append(self._wait_kernel_launch(stage, stream))
+            launches.append(entry.kernel.build_launch(stream=stream))
+        return launches
+
+    def _check_topological_order(self) -> None:
+        for entry in self._entries:
+            for dependency in entry.stage.dependencies.values():
+                if dependency.producer.stage_index >= entry.stage.stage_index:
+                    raise SynchronizationError(
+                        f"stage '{entry.stage.name}' depends on '{dependency.producer.name}' "
+                        "but was added to the pipeline before it; add producers first"
+                    )
+
+    def _wait_kernel_launch(self, stage: CuStage, stream: Stream) -> KernelLaunch:
+        """Single-block kernel that blocks the consumer's stream until every
+        producer has started (Section III-B)."""
+        waits = stage.wait_kernel_waits()
+        poll_duration = self.cost_model.wait_kernel_poll_us()
+
+        def build(tile: Dim3) -> ThreadBlockProgram:
+            segment = Segment(label="wait-kernel", waits=list(waits), duration_us=poll_duration)
+            return ThreadBlockProgram(tile=tile, segments=[segment])
+
+        return KernelLaunch(
+            name=f"waitkernel_{stage.name}",
+            grid=Dim3(1, 1, 1),
+            program_builder=build,
+            occupancy=WAIT_KERNEL_OCCUPANCY,
+            stream=stream,
+            tags={"kernel_class": "WaitKernel"},
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        memory: Optional[GlobalMemory] = None,
+        tensors: Optional[Dict[str, np.ndarray]] = None,
+    ) -> PipelineResult:
+        """Run the pipeline on the simulator and return the result.
+
+        ``tensors`` provides the input arrays for functional simulation
+        (weights, activations); outputs are allocated automatically.
+        """
+        memory = memory if memory is not None else GlobalMemory()
+        if tensors:
+            for name, array in tensors.items():
+                memory.store_tensor(name, array)
+        if self.functional:
+            for entry in self._entries:
+                entry.kernel.allocate_functional_tensors(memory)
+
+        launches = self.build_launches(memory)
+        tracked = {entry.stage.geometry.output for entry in self._entries if entry.stage.is_producer}
+        simulator = GpuSimulator(
+            arch=self.arch,
+            memory=memory,
+            cost_model=self.cost_model,
+            functional=self.functional,
+            tracked_tensors=tracked,
+        )
+        result = simulator.run(launches)
+        return PipelineResult(
+            simulation=result,
+            stage_names=[entry.stage.name for entry in self._entries],
+            wait_kernel_names=[
+                f"waitkernel_{entry.stage.name}"
+                for entry in self._entries
+                if entry.stage.needs_wait_kernel()
+            ],
+        )

@@ -1,0 +1,154 @@
+"""Dependence analysis: normalization and bounds checking.
+
+cuSyncGen's workflow (Section IV-A) starts by checking that every producer
+tile a dependence names lies inside the producer's declared grid, and by
+normalizing the dependence into the per-dimension affine form
+``{P(x, a0*y + b0), ..., P(x, aN-1*y + bN-1)}`` the code generator templates
+its ``sem``/``value``/order functions from.  This module performs both
+steps for this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from repro.errors import DslBoundsError, DslError
+from repro.dsl.dep import Dep, TileRef
+from repro.dsl.expr import AffineExpr
+from repro.dsl.grid import ForAll, Grid, Tile
+
+
+@dataclass(frozen=True)
+class DimensionAccess:
+    """How a dependence walks one dimension of the producer grid.
+
+    ``pattern`` is one of:
+
+    ``"identity"``  — the producer index equals the consumer index;
+    ``"scaled"``    — the producer index is an affine function of it
+                      (e.g. the ``x // (R*S)`` Conv2D mapping);
+    ``"strided"``   — several producer indices at a constant stride
+                      (the attention Q/K/V dependence);
+    ``"all"``       — every index of the dimension (a ``ForAll``).
+    """
+
+    pattern: str
+    #: Number of producer tiles referenced along this dimension.
+    count: int
+    #: Stride between referenced tiles (strided pattern only).
+    stride: Optional[int] = None
+
+
+@dataclass
+class NormalizedDependence:
+    """One dependence lowered to explicit producer tile expressions."""
+
+    consumer_grid: Grid
+    producer_grid: Grid
+    #: Expanded producer tile index expressions ``(x_expr, y_expr)``.
+    producer_tiles: List[Tuple[AffineExpr, AffineExpr]] = field(default_factory=list)
+    x_access: DimensionAccess = DimensionAccess(pattern="identity", count=1)
+    y_access: DimensionAccess = DimensionAccess(pattern="identity", count=1)
+
+    @property
+    def tiles_per_consumer(self) -> int:
+        """How many producer tiles one consumer tile waits for."""
+        return len(self.producer_tiles)
+
+
+def _expand_side(side: TileRef) -> List[Tuple[AffineExpr, AffineExpr]]:
+    grid = side.grid
+    expanded: List[Tuple[AffineExpr, AffineExpr]] = []
+    for tile in side.tiles:
+        if isinstance(tile, ForAll):
+            expanded.extend(tile.tiles(grid.x_dim, grid.y_dim))
+        elif isinstance(tile, Tile):
+            expanded.append((tile.x_expr(grid.x_dim), tile.y_expr(grid.y_dim)))
+        else:  # pragma: no cover - guarded by Dep._coerce
+            raise DslError(f"unexpected tile reference {tile!r}")
+    return expanded
+
+
+def _classify(exprs: List[AffineExpr], producer_extent: int, is_forall: bool) -> DimensionAccess:
+    unique = sorted({(expr.scale, expr.offset, expr.floor) for expr in exprs}, key=lambda t: (t[0], t[1]))
+    count = len(unique)
+    all_constant = all(scale == 0 for scale, _, _ in unique)
+    if is_forall or (all_constant and count >= producer_extent):
+        return DimensionAccess(pattern="all", count=producer_extent)
+    if count == 1:
+        scale, offset, floored = unique[0]
+        if scale == 1 and offset == 0 and not floored:
+            return DimensionAccess(pattern="identity", count=1)
+        return DimensionAccess(pattern="scaled", count=1)
+    scales = {scale for scale, _, _ in unique}
+    if len(scales) == 1:
+        offsets = sorted(offset for _, offset, _ in unique)
+        strides = {b - a for a, b in zip(offsets, offsets[1:])}
+        if len(strides) == 1:
+            return DimensionAccess(pattern="strided", count=count, stride=strides.pop())
+    return DimensionAccess(pattern="scaled", count=count)
+
+
+def analyze_dependence(dep: Dep, producer_index: int = 0) -> NormalizedDependence:
+    """Normalize and bounds-check one producer side of a dependence.
+
+    Raises :class:`~repro.errors.DslBoundsError` if any consumer tile would
+    wait for a producer tile outside the producer's grid (step 2 of the
+    cuSyncGen workflow).
+    """
+    if producer_index >= len(dep.producers):
+        raise DslError(
+            f"dependence has {len(dep.producers)} producer sides, index {producer_index} requested"
+        )
+    consumer_grid = dep.consumer.grid
+    producer_side = dep.producers[producer_index]
+    producer_grid = producer_side.grid
+
+    producer_tiles = _expand_side(producer_side)
+    has_forall = any(isinstance(tile, ForAll) for tile in producer_side.tiles)
+
+    # Bounds check over the full consumer grid.
+    for consumer_y in range(consumer_grid.y_size):
+        for consumer_x in range(consumer_grid.x_size):
+            for x_expr, y_expr in producer_tiles:
+                px = _evaluate(x_expr, consumer_x, consumer_y, consumer_grid)
+                py = _evaluate(y_expr, consumer_x, consumer_y, consumer_grid)
+                if not producer_grid.contains(px, py):
+                    raise DslBoundsError(
+                        f"consumer tile ({consumer_x}, {consumer_y}) of {consumer_grid.label} "
+                        f"depends on producer tile ({px}, {py}) outside {producer_grid.label} "
+                        f"of shape ({producer_grid.x_size}, {producer_grid.y_size})"
+                    )
+
+    x_exprs = [x for x, _ in producer_tiles]
+    y_exprs = [y for _, y in producer_tiles]
+    x_access = _classify(x_exprs, producer_grid.x_size, has_forall and _forall_on_x(producer_side))
+    y_access = _classify(y_exprs, producer_grid.y_size, has_forall and not _forall_on_x(producer_side))
+
+    return NormalizedDependence(
+        consumer_grid=consumer_grid,
+        producer_grid=producer_grid,
+        producer_tiles=producer_tiles,
+        x_access=x_access,
+        y_access=y_access,
+    )
+
+
+def _forall_on_x(side: TileRef) -> bool:
+    for tile in side.tiles:
+        if isinstance(tile, ForAll):
+            return tile.dim == side.grid.x_dim
+    return False
+
+
+def _evaluate(expr: AffineExpr, consumer_x: int, consumer_y: int, consumer_grid: Grid) -> int:
+    if expr.dim == consumer_grid.x_dim:
+        return expr.evaluate(consumer_x)
+    if expr.dim == consumer_grid.y_dim:
+        return expr.evaluate(consumer_y)
+    # Constant expressions carry an arbitrary dimension with scale 0.
+    if expr.scale == 0:
+        return expr.offset
+    raise DslError(f"expression {expr!r} references a dimension outside the consumer grid")

@@ -1,0 +1,78 @@
+"""Auto-tuning over generated policies.
+
+The last step of the paper's workflow is to run every generated policy and
+keep the fastest (Section IV-A, "Running the Generated Code").  The paper's
+users do this by hand; here the simulator makes it automatic: the tuner
+runs a :class:`~repro.models.workload.Workload` under each candidate policy
+family (plus the StreamSync baseline for reference) and reports the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.cusync.optimizations import OptimizationFlags
+from repro.models.workload import Workload
+
+
+@dataclass
+class TuningResult:
+    """Outcome of auto-tuning one workload."""
+
+    workload: str
+    times_us: Dict[str, float] = field(default_factory=dict)
+    best_policy: str = ""
+
+    @property
+    def best_time_us(self) -> float:
+        return self.times_us[self.best_policy]
+
+    @property
+    def streamsync_time_us(self) -> float:
+        return self.times_us["StreamSync"]
+
+    @property
+    def improvement(self) -> float:
+        """Fractional improvement of the best policy over StreamSync."""
+        baseline = self.streamsync_time_us
+        return (baseline - self.best_time_us) / baseline if baseline > 0 else 0.0
+
+    def summary(self) -> str:
+        ordered = sorted(self.times_us.items(), key=lambda kv: kv[1])
+        lines = [f"auto-tuning {self.workload}:"]
+        for name, time_us in ordered:
+            marker = " <= best" if name == self.best_policy else ""
+            lines.append(f"  {name:24s} {time_us:10.1f} us{marker}")
+        return "\n".join(lines)
+
+
+class AutoTuner:
+    """Runs every candidate policy of a workload and picks the fastest."""
+
+    def __init__(
+        self,
+        policies: Optional[List[str]] = None,
+        optimizations: Optional[OptimizationFlags] = None,
+        include_streamk: bool = False,
+    ) -> None:
+        self.policies = policies if policies is not None else ["TileSync", "RowSync"]
+        self.optimizations = optimizations
+        self.include_streamk = include_streamk
+
+    def tune(self, workload: Workload) -> TuningResult:
+        """Measure every candidate on the simulator and pick the winner."""
+        if not self.policies:
+            raise ReproError("AutoTuner needs at least one candidate policy")
+        times: Dict[str, float] = {}
+        times["StreamSync"] = workload.run_streamsync().total_time_us
+        if self.include_streamk:
+            times["StreamK"] = workload.run_streamk().total_time_us
+        for family in self.policies:
+            times[family] = workload.run_cusync(
+                policy=family, optimizations=self.optimizations
+            ).total_time_us
+        candidates = {name: t for name, t in times.items() if name not in ("StreamSync", "StreamK")}
+        best = min(candidates, key=candidates.get)
+        return TuningResult(workload=workload.name, times_us=times, best_policy=best)

@@ -1,0 +1,66 @@
+"""Dependence declarations (the paper's ``Dep``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from repro.errors import DslError
+from repro.dsl.grid import ForAll, Grid, Tile
+
+
+@dataclass(frozen=True)
+class TileRef:
+    """A (grid, tile-set) pair appearing on either side of a dependence."""
+
+    grid: Grid
+    tiles: Tuple[Union[Tile, ForAll], ...]
+
+    @classmethod
+    def of(cls, grid: Grid, *tiles: Union[Tile, ForAll]) -> "TileRef":
+        if not tiles:
+            raise DslError("a dependence side must reference at least one tile")
+        return cls(grid=grid, tiles=tuple(tiles))
+
+
+@dataclass(frozen=True)
+class Dep:
+    """``consumer tile  <-  one or more producer tiles``.
+
+    Mirrors the paper's ``Dep dep({g2, cons}, {g1, prodCols})``: the first
+    argument names the consumer grid and its tile pattern, the remaining
+    arguments name producer grids with the tiles the consumer tile needs.
+    """
+
+    consumer: TileRef
+    producers: Tuple[TileRef, ...]
+
+    def __init__(self, consumer, *producers):
+        consumer_ref = _coerce(consumer)
+        if not producers:
+            raise DslError("a dependence needs at least one producer side")
+        producer_refs = tuple(_coerce(producer) for producer in producers)
+        object.__setattr__(self, "consumer", consumer_ref)
+        object.__setattr__(self, "producers", producer_refs)
+
+    def __repr__(self) -> str:
+        producer_names = ", ".join(ref.grid.label for ref in self.producers)
+        return f"Dep({self.consumer.grid.label} <- {producer_names})"
+
+
+def _coerce(side) -> TileRef:
+    """Accept ``TileRef`` or ``(grid, tile, ...)`` tuples/lists."""
+    if isinstance(side, TileRef):
+        return side
+    if isinstance(side, (tuple, list)):
+        if not side or not isinstance(side[0], Grid):
+            raise DslError(f"dependence side {side!r} must start with a Grid")
+        grid = side[0]
+        tiles = tuple(side[1:])
+        if not tiles:
+            raise DslError(f"dependence side for grid {grid.label} names no tiles")
+        for tile in tiles:
+            if not isinstance(tile, (Tile, ForAll)):
+                raise DslError(f"dependence side contains {tile!r}, expected Tile or ForAll")
+        return TileRef(grid=grid, tiles=tiles)
+    raise DslError(f"cannot interpret {side!r} as a dependence side")

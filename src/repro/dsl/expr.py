@@ -1,0 +1,137 @@
+"""Affine expressions over grid dimensions.
+
+The DSL describes which producer tiles a consumer tile needs with affine
+functions of the consumer's tile coordinates, e.g. ``x + H/(8*TileN)`` for
+the strided attention dependence of Figure 5b.  :class:`AffineExpr`
+represents ``scale * dim + offset`` (single-variable affine forms are all
+the paper's dependences need) and supports the arithmetic used when writing
+dependences: ``x + 3``, ``2 * y``, ``x // 9``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from itertools import count
+from typing import Union
+
+from repro.errors import DslError
+
+_dim_ids = count()
+
+
+@dataclass(frozen=True)
+class Dim:
+    """A named grid dimension variable (the paper's ``Dim x, y``)."""
+
+    name: str
+    dim_id: int = field(default_factory=lambda: next(_dim_ids))
+
+    # Arithmetic produces affine expressions over this dimension.
+    def __add__(self, other: int) -> "AffineExpr":
+        return AffineExpr(self) + other
+
+    def __radd__(self, other: int) -> "AffineExpr":
+        return AffineExpr(self) + other
+
+    def __sub__(self, other: int) -> "AffineExpr":
+        return AffineExpr(self) - other
+
+    def __mul__(self, other: int) -> "AffineExpr":
+        return AffineExpr(self) * other
+
+    def __rmul__(self, other: int) -> "AffineExpr":
+        return AffineExpr(self) * other
+
+    def __floordiv__(self, other: int) -> "AffineExpr":
+        return AffineExpr(self) // other
+
+    def __truediv__(self, other: int) -> "AffineExpr":
+        return AffineExpr(self) / other
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """``scale * dim + offset`` with rational scale and integer offset.
+
+    ``floor`` marks expressions produced with ``//`` whose evaluation floors
+    the scaled value (the ``x / (R*S)`` mapping of the Conv2D dependence).
+    """
+
+    dim: Dim
+    scale: Fraction = Fraction(1)
+    offset: int = 0
+    floor: bool = False
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: int) -> "AffineExpr":
+        if not isinstance(other, int):
+            raise DslError(f"can only add integers to affine expressions, got {other!r}")
+        return AffineExpr(self.dim, self.scale, self.offset + other, self.floor)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: int) -> "AffineExpr":
+        return self + (-other)
+
+    def __mul__(self, other: int) -> "AffineExpr":
+        if not isinstance(other, int):
+            raise DslError(f"can only scale affine expressions by integers, got {other!r}")
+        return AffineExpr(self.dim, self.scale * other, self.offset * other, self.floor)
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other: int) -> "AffineExpr":
+        if not isinstance(other, int) or other <= 0:
+            raise DslError(f"affine floor-division requires a positive integer, got {other!r}")
+        if self.offset % other != 0 and self.offset != 0:
+            raise DslError("cannot floor-divide an affine expression with a non-divisible offset")
+        return AffineExpr(self.dim, self.scale / other, self.offset // other, True)
+
+    def __truediv__(self, other: int) -> "AffineExpr":
+        return self.__floordiv__(other)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, value: int) -> int:
+        """Evaluate the expression for a concrete tile coordinate."""
+        scaled = self.scale * value
+        if self.floor:
+            result = scaled.numerator // scaled.denominator + self.offset
+        else:
+            if scaled.denominator != 1:
+                raise DslError(
+                    f"expression {self} does not evaluate to an integer at {value}"
+                    " (use // for flooring division)"
+                )
+            result = int(scaled) + self.offset
+        return result
+
+    def __repr__(self) -> str:
+        pieces = []
+        if self.scale != 1:
+            pieces.append(f"{self.scale}*{self.dim.name}")
+        else:
+            pieces.append(self.dim.name)
+        if self.offset:
+            pieces.append(f"+ {self.offset}" if self.offset > 0 else f"- {-self.offset}")
+        return " ".join(pieces)
+
+
+#: Anything accepted where an affine index expression is expected.
+AffineLike = Union[Dim, AffineExpr, int]
+
+
+def affine(value: AffineLike, default_dim: Dim) -> AffineExpr:
+    """Coerce a DSL index (Dim, expression or constant) to an AffineExpr."""
+    if isinstance(value, AffineExpr):
+        return value
+    if isinstance(value, Dim):
+        return AffineExpr(value)
+    if isinstance(value, int):
+        return AffineExpr(default_dim, Fraction(0), value)
+    raise DslError(f"cannot interpret {value!r} as a tile index expression")

@@ -1,0 +1,131 @@
+"""Grids, tiles and ranges — the nouns of the cuSyncGen DSL.
+
+A :class:`Grid` declares the extent of a kernel's tile space in each named
+dimension (the paper's ``Grid g1(x, y, H/(2*TileN), B*S/TileM)``).  A
+:class:`Tile` is a point in that space given by affine expressions of the
+dimension variables, and :class:`ForAll` expands one dimension of a tile
+over a :class:`Range`, expressing "all column tiles of this row".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.dim3 import Dim3
+from repro.errors import DslError
+from repro.dsl.expr import AffineExpr, AffineLike, Dim, affine
+
+_grid_ids = count()
+
+
+@dataclass(frozen=True)
+class Range:
+    """A half-open integer range, default starting at zero."""
+
+    stop: int
+    start: int = 0
+
+    def __post_init__(self) -> None:
+        if self.stop < self.start:
+            raise DslError(f"Range stop {self.stop} below start {self.start}")
+
+    def __iter__(self):
+        return iter(range(self.start, self.stop))
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+@dataclass(frozen=True)
+class Grid:
+    """The tile space of one kernel.
+
+    ``dims`` associates each dimension variable with its extent (number of
+    tiles along that dimension).  Dimensions not mentioned have extent 1.
+    """
+
+    x_dim: Dim
+    y_dim: Dim
+    x_size: int
+    y_size: int
+    z_size: int = 1
+    name: Optional[str] = None
+    grid_id: int = field(default_factory=lambda: next(_grid_ids))
+
+    def __post_init__(self) -> None:
+        if self.x_size <= 0 or self.y_size <= 0 or self.z_size <= 0:
+            raise DslError(f"grid {self.label} has non-positive extent")
+
+    @property
+    def label(self) -> str:
+        return self.name if self.name is not None else f"grid{self.grid_id}"
+
+    @property
+    def shape(self) -> Dim3:
+        return Dim3(self.x_size, self.y_size, self.z_size)
+
+    def extent_of(self, dim: Dim) -> int:
+        """Extent of the grid along a dimension variable."""
+        if dim == self.x_dim:
+            return self.x_size
+        if dim == self.y_dim:
+            return self.y_size
+        raise DslError(f"dimension {dim.name} is not part of grid {self.label}")
+
+    def contains(self, x: int, y: int) -> bool:
+        return 0 <= x < self.x_size and 0 <= y < self.y_size
+
+    def __repr__(self) -> str:
+        return f"Grid({self.label}, x={self.x_size}, y={self.y_size}, z={self.z_size})"
+
+
+@dataclass(frozen=True)
+class Tile:
+    """A tile coordinate given by affine expressions in x and y."""
+
+    x: AffineLike
+    y: AffineLike
+
+    def x_expr(self, x_dim: Dim) -> AffineExpr:
+        return affine(self.x, x_dim)
+
+    def y_expr(self, y_dim: Dim) -> AffineExpr:
+        return affine(self.y, y_dim)
+
+    def __repr__(self) -> str:
+        return f"Tile({self.x!r}, {self.y!r})"
+
+
+@dataclass(frozen=True)
+class ForAll:
+    """Expand one dimension of a tile over a range.
+
+    ``ForAll(Tile(x, y), dim, Range(n))`` denotes the set of tiles obtained
+    by substituting every value of the range for ``dim`` — the paper uses it
+    to say "a consumer tile depends on *all* column tiles of a producer row"
+    (Figure 5a).
+    """
+
+    tile: Tile
+    dim: Dim
+    range: Range
+
+    def tiles(self, x_dim: Dim, y_dim: Dim) -> List[Tuple[AffineExpr, AffineExpr]]:
+        """The expanded tile expressions, substituting constants for ``dim``."""
+        expanded: List[Tuple[AffineExpr, AffineExpr]] = []
+        for value in self.range:
+            x_expr = self.tile.x_expr(x_dim)
+            y_expr = self.tile.y_expr(y_dim)
+            if self.dim == x_dim:
+                x_expr = affine(int(value), x_dim)
+            elif self.dim == y_dim:
+                y_expr = affine(int(value), y_dim)
+            else:
+                raise DslError(f"ForAll dimension {self.dim.name} not in the tile's grid")
+            expanded.append((x_expr, y_expr))
+        return expanded
+
+    def __repr__(self) -> str:
+        return f"ForAll({self.tile!r}, {self.dim.name}, 0..{self.range.stop})"

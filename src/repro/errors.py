@@ -1,0 +1,59 @@
+"""Exception hierarchy for the cuSync reproduction.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch everything the library raises with a single except clause while still
+being able to distinguish simulator deadlocks from DSL compile errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class SimulationError(ReproError):
+    """A failure inside the GPU simulator (inconsistent state, bad launch)."""
+
+
+class DeadlockError(SimulationError):
+    """The simulated GPU cannot make progress.
+
+    Raised when every occupied SM slot is busy-waiting on a semaphore that no
+    runnable thread block will ever post — exactly the failure mode the
+    paper's wait-kernel mechanism exists to prevent (Section III-B).
+    """
+
+    def __init__(self, message: str, waiting_blocks=None):
+        super().__init__(message)
+        #: Descriptions of the blocks that were stuck when the deadlock was
+        #: detected, useful for debugging synchronization policies.
+        self.waiting_blocks = list(waiting_blocks or [])
+
+
+class SynchronizationError(ReproError):
+    """A synchronization policy or dependency declaration is inconsistent."""
+
+
+class DataRaceError(SynchronizationError):
+    """A consumer tile read data before its producer tile posted.
+
+    Only detectable in functional simulation mode, where kernels track which
+    tiles of each tensor have actually been written.
+    """
+
+
+class DslError(ReproError):
+    """Base class for errors raised by the cuSyncGen DSL front end."""
+
+
+class DslBoundsError(DslError):
+    """A dependency references a producer tile outside the producer grid."""
+
+
+class CodegenError(ReproError):
+    """The policy / tile-order generator could not handle a dependence."""
+
+
+class ModelConfigError(ReproError):
+    """An ML model configuration is inconsistent (shapes, parallelism)."""

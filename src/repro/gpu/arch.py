@@ -1,0 +1,150 @@
+"""GPU architecture descriptions.
+
+The quantities modeled here are the ones the paper's analysis depends on:
+
+* the number of SMs and the per-SM resource limits, which (with a kernel's
+  resource usage) determine occupancy and therefore thread blocks per wave;
+* per-SM compute throughput and memory bandwidth, which give the duration of
+  a tile computation;
+* latencies of the operations cuSync adds: global-memory semaphore reads,
+  atomic increments, ``__syncthreads``/memory fences and kernel launches.
+
+The default preset is an NVIDIA Tesla V100 (the paper's evaluation GPU,
+80 SMs).  An A100 preset is provided because the paper notes the wait-kernel
+scheduling assumption holds on Volta and Ampere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from repro.common.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GpuArchitecture:
+    """Static description of a GPU used by the simulator and cost model.
+
+    Times are expressed in microseconds, sizes in bytes, throughputs in
+    FLOP/µs and bytes/µs per SM, so durations computed from them are directly
+    comparable with the paper's microsecond-scale kernel times.
+    """
+
+    name: str
+    #: Number of streaming multiprocessors.
+    num_sms: int
+    #: Hard cap on resident thread blocks per SM.
+    max_blocks_per_sm: int
+    #: Maximum resident threads per SM.
+    max_threads_per_sm: int
+    #: Maximum threads per thread block.
+    max_threads_per_block: int
+    #: 32-bit registers available per SM.
+    registers_per_sm: int
+    #: Shared memory per SM in bytes.
+    shared_memory_per_sm: int
+    #: Peak half-precision (tensor core) throughput per SM in FLOP/µs.
+    fp16_flops_per_sm_us: float
+    #: Peak single-precision throughput per SM in FLOP/µs.
+    fp32_flops_per_sm_us: float
+    #: Global-memory bandwidth per SM in bytes/µs (device bandwidth / SMs).
+    bytes_per_sm_us: float
+    #: Latency of a dependent global memory access (semaphore poll), µs.
+    global_latency_us: float
+    #: Latency of a global-memory atomic add, µs.
+    atomic_latency_us: float
+    #: Cost of a ``__syncthreads`` + ``__threadfence_system`` pair, µs.
+    fence_latency_us: float
+    #: Host-side latency of launching a kernel, µs (the paper measures ~6 µs).
+    kernel_launch_latency_us: float
+    #: Device-side gap between one kernel finishing and an already-queued
+    #: kernel on the same stream starting to dispatch blocks, µs.  Exposed on
+    #: every kernel boundary under stream synchronization; hidden by cuSync
+    #: because the dependent kernel's blocks are already resident.
+    kernel_dispatch_latency_us: float
+    #: Extra latency for a busy-waiting block to notice a posted semaphore, µs.
+    wait_resume_latency_us: float
+    #: Achievable fraction of peak throughput for well-tuned tiled kernels.
+    compute_efficiency: float = 0.8
+    #: Achievable fraction of peak memory bandwidth.
+    memory_efficiency: float = 0.75
+    #: Free-form extra attributes (e.g. NVLink bandwidth for multi-GPU runs).
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive("num_sms", self.num_sms)
+        check_positive("max_blocks_per_sm", self.max_blocks_per_sm)
+        check_positive("fp16_flops_per_sm_us", self.fp16_flops_per_sm_us)
+        check_positive("bytes_per_sm_us", self.bytes_per_sm_us)
+        if not (0.0 < self.compute_efficiency <= 1.0):
+            raise ValueError(f"compute_efficiency must be in (0, 1], got {self.compute_efficiency}")
+        if not (0.0 < self.memory_efficiency <= 1.0):
+            raise ValueError(f"memory_efficiency must be in (0, 1], got {self.memory_efficiency}")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def device_fp16_flops_us(self) -> float:
+        """Aggregate half-precision throughput of the device in FLOP/µs."""
+        return self.fp16_flops_per_sm_us * self.num_sms
+
+    @property
+    def device_bandwidth_bytes_us(self) -> float:
+        """Aggregate global-memory bandwidth of the device in bytes/µs."""
+        return self.bytes_per_sm_us * self.num_sms
+
+    def blocks_per_wave(self, occupancy: int) -> int:
+        """Thread blocks executed per wave for a kernel with ``occupancy``."""
+        check_positive("occupancy", occupancy)
+        return self.num_sms * occupancy
+
+    def with_overrides(self, **kwargs) -> "GpuArchitecture":
+        """Return a copy with some fields replaced (for what-if studies)."""
+        return replace(self, **kwargs)
+
+
+#: NVIDIA Tesla V100-SXM2 32GB — the GPU used throughout the paper's
+#: evaluation (80 SMs, ~112 TFLOP/s FP16 tensor cores, ~900 GB/s HBM2).
+TESLA_V100 = GpuArchitecture(
+    name="Tesla V100",
+    num_sms=80,
+    max_blocks_per_sm=32,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    shared_memory_per_sm=96 * 1024,
+    fp16_flops_per_sm_us=1.4e6,   # 112 TFLOP/s / 80 SMs
+    fp32_flops_per_sm_us=0.175e6,  # 14 TFLOP/s / 80 SMs
+    bytes_per_sm_us=11250.0,       # 900 GB/s / 80 SMs
+    global_latency_us=0.6,
+    atomic_latency_us=0.4,
+    fence_latency_us=0.3,
+    kernel_launch_latency_us=6.0,
+    kernel_dispatch_latency_us=3.0,
+    wait_resume_latency_us=0.5,
+    extras={"nvlink_bandwidth_bytes_us": 150_000.0},
+)
+
+#: NVIDIA A100-SXM4 80GB — included because the paper states the kernel
+#: scheduling order assumption also holds on Ampere GPUs.
+AMPERE_A100 = GpuArchitecture(
+    name="A100",
+    num_sms=108,
+    max_blocks_per_sm=32,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    shared_memory_per_sm=164 * 1024,
+    fp16_flops_per_sm_us=2.89e6,   # 312 TFLOP/s / 108 SMs
+    fp32_flops_per_sm_us=0.18e6,
+    bytes_per_sm_us=18000.0,       # ~1.94 TB/s / 108 SMs
+    global_latency_us=0.5,
+    atomic_latency_us=0.35,
+    fence_latency_us=0.25,
+    kernel_launch_latency_us=5.0,
+    kernel_dispatch_latency_us=2.5,
+    wait_resume_latency_us=0.4,
+    extras={"nvlink_bandwidth_bytes_us": 300_000.0},
+)

@@ -1,0 +1,488 @@
+"""Discrete-event simulator for thread-block execution on a GPU.
+
+The simulator executes a list of :class:`~repro.gpu.kernel.KernelLaunch`
+objects with the semantics the paper's mechanisms depend on:
+
+* **Host launch order.**  Launches are issued by the host one after another;
+  each launch call costs the architecture's kernel-launch latency.  A kernel
+  can therefore never start before its issue time, which is what makes
+  "overlapping kernel invocations" (Section V-E.1) measurable.
+* **Stream ordering.**  A kernel becomes *eligible* only when every earlier
+  kernel on the same stream has completed all of its thread blocks.  Running
+  two dependent kernels on the same stream therefore reproduces the
+  StreamSync baseline exactly.
+* **Launch-order block scheduling.**  When SM slots are free, pending thread
+  blocks are dispatched from eligible kernels in (stream priority, launch
+  order) order — the behaviour of CUDA on Volta/Ampere that the wait-kernel
+  mechanism relies on (Section III-B).
+* **Occupancy-limited SM slots.**  A thread block of a kernel with occupancy
+  *k* consumes ``1/k`` of an SM; blocks of different kernels may co-reside
+  if capacity allows.  Waves emerge from this capacity constraint.
+* **Busy-waiting blocks hold their slots.**  A block whose segment waits on
+  an unsatisfied semaphore stays resident, exactly like a spinning CUDA
+  thread block.  If every resident block is waiting and nothing can post,
+  the simulator raises :class:`~repro.errors.DeadlockError` — the failure
+  mode the paper's wait-kernel prevents.
+
+The simulator is deterministic: identical inputs produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.common.dim3 import Dim3
+from repro.errors import DeadlockError, SimulationError
+from repro.gpu.arch import GpuArchitecture, TESLA_V100
+from repro.gpu.costmodel import CostModel
+from repro.gpu.kernel import KernelLaunch, Segment, ThreadBlockProgram
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.trace import (
+    BlockRecord,
+    ExecutionTrace,
+    KernelStats,
+    analytic_utilization,
+    wave_count,
+)
+
+_EPSILON = 1e-9
+
+
+@dataclass
+class _LaunchState:
+    """Mutable bookkeeping for one kernel launch during simulation."""
+
+    launch: KernelLaunch
+    launch_index: int
+    issue_time_us: float
+    eligible: bool = False
+    dispatch_counter: int = 0
+    completed_blocks: int = 0
+    started: bool = False
+
+    @property
+    def pending_blocks(self) -> int:
+        return self.launch.num_blocks - self.dispatch_counter
+
+    @property
+    def finished(self) -> bool:
+        return self.completed_blocks >= self.launch.num_blocks
+
+
+@dataclass
+class _BlockState:
+    """Mutable bookkeeping for one resident thread block."""
+
+    launch_state: _LaunchState
+    tile: Dim3
+    program: ThreadBlockProgram
+    dispatch_index: int
+    sm_id: int
+    dispatch_time_us: float
+    #: Deterministic duration multiplier modelling block-to-block variation.
+    duration_factor: float = 1.0
+    segment_index: int = 0
+    wait_time_us: float = 0.0
+    work_time_us: float = 0.0
+    waiting_since_us: Optional[float] = None
+    #: Semaphore keys this block is currently registered on.
+    registered_keys: Set[Tuple[str, int]] = field(default_factory=set)
+
+    @property
+    def current_segment(self) -> Segment:
+        return self.program.segments[self.segment_index]
+
+    @property
+    def name(self) -> str:
+        return f"{self.launch_state.launch.name}[tile={self.tile}]"
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulator run."""
+
+    total_time_us: float
+    trace: ExecutionTrace
+    memory: GlobalMemory
+    #: Host time at which the last kernel launch call returned.
+    host_issue_time_us: float
+
+    def kernel_duration_us(self, name: str) -> float:
+        """Wall-clock duration of one kernel (first block start → last end)."""
+        return self.trace.kernels[name].duration_us
+
+    def kernel_names(self) -> List[str]:
+        return [
+            stats.name
+            for stats in sorted(self.trace.kernels.values(), key=lambda s: s.launch_index)
+        ]
+
+
+class GpuSimulator:
+    """Execute kernel launches with discrete-event semantics.
+
+    Parameters
+    ----------
+    arch:
+        The GPU architecture to simulate (defaults to the paper's V100).
+    memory:
+        Global memory to run against.  Kernels that need pre-existing
+        semaphore arrays or tensors expect the caller to populate this; a
+        fresh :class:`GlobalMemory` is created when omitted.
+    functional:
+        When true, segments' ``compute`` callables are executed and tile
+        reads of tracked tensors are checked for data races.
+    tracked_tensors:
+        Names of tensors whose tiles are produced *within* the simulated
+        pipeline; reads of these are race-checked in functional mode.
+    """
+
+    def __init__(
+        self,
+        arch: GpuArchitecture = TESLA_V100,
+        memory: Optional[GlobalMemory] = None,
+        cost_model: Optional[CostModel] = None,
+        functional: bool = False,
+        tracked_tensors: Optional[Set[str]] = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        self.arch = arch
+        self.memory = memory if memory is not None else GlobalMemory()
+        self.cost_model = cost_model if cost_model is not None else CostModel(arch=arch)
+        self.functional = functional
+        self.tracked_tensors = set(tracked_tensors) if tracked_tensors is not None else None
+        self.max_events = max_events
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, launches: Sequence[KernelLaunch]) -> SimulationResult:
+        """Simulate the given launches and return the execution trace."""
+        if not launches:
+            raise SimulationError("no kernels to simulate")
+
+        states = self._prepare_launch_states(launches)
+        trace = self._prepare_trace(states)
+
+        # Event queue entries: (time, sequence, kind, payload)
+        events: List[Tuple[float, int, str, object]] = []
+        sequence = itertools.count()
+
+        def push(time: float, kind: str, payload: object) -> None:
+            heapq.heappush(events, (time, next(sequence), kind, payload))
+
+        # Stream bookkeeping: ordered launches per stream.
+        stream_queues: Dict[int, List[_LaunchState]] = {}
+        for state in states:
+            stream_queues.setdefault(state.launch.stream.stream_id, []).append(state)
+        stream_positions: Dict[int, int] = {sid: 0 for sid in stream_queues}
+
+        # The head launch of every stream becomes eligible at its issue time.
+        for stream_id, queue in stream_queues.items():
+            head = queue[0]
+            push(head.issue_time_us, "eligible", head)
+
+        # SM capacity tracking: free fraction per SM.
+        sm_free: List[float] = [1.0] * self.arch.num_sms
+
+        # Blocks waiting on semaphores: (array, index) -> blocks.
+        waiters: Dict[Tuple[str, int], List[_BlockState]] = {}
+
+        resident_blocks: Set[int] = set()  # ids of _BlockState objects resident
+        block_objects: Dict[int, _BlockState] = {}
+
+        now = 0.0
+        processed = 0
+        total_blocks = sum(state.launch.num_blocks for state in states)
+        completed_blocks_total = 0
+
+        # --------------------------------------------------------------
+        # Inner helpers (closures over the run-local state)
+        # --------------------------------------------------------------
+        def mark_eligible(state: _LaunchState, time: float) -> None:
+            if not state.eligible:
+                state.eligible = True
+
+        def stream_advance(stream_id: int, time: float) -> None:
+            """Move the stream head forward past completed launches."""
+            queue = stream_queues[stream_id]
+            position = stream_positions[stream_id]
+            dispatch_gap = self.cost_model.kernel_dispatch_gap_us()
+            while position < len(queue) and queue[position].finished:
+                position += 1
+                if position < len(queue):
+                    successor = queue[position]
+                    # A queued kernel pays a small device-side dispatch gap
+                    # after its stream predecessor completes.
+                    when = max(time + dispatch_gap, successor.issue_time_us)
+                    push(when, "eligible", successor)
+            stream_positions[stream_id] = position
+
+        def start_segment(block: _BlockState, time: float) -> None:
+            """Begin the block's current segment, waiting if necessary."""
+            segment = block.current_segment
+            unsatisfied = [w for w in segment.waits if not w.satisfied(self.memory)]
+            if unsatisfied:
+                block.waiting_since_us = time
+                for wait in unsatisfied:
+                    key = (wait.array, wait.index)
+                    if key not in block.registered_keys:
+                        waiters.setdefault(key, []).append(block)
+                        block.registered_keys.add(key)
+                return
+            schedule_segment_completion(block, time, resumed=False)
+
+        def schedule_segment_completion(
+            block: _BlockState, time: float, resumed: bool, waited_us: float = 0.0
+        ) -> None:
+            segment = block.current_segment
+            if resumed:
+                overhead = self.cost_model.wait_overhead_us() * len(segment.waits)
+                overhead += self.arch.wait_resume_latency_us
+            else:
+                overhead = self.cost_model.satisfied_wait_overhead_us() * len(segment.waits)
+            if segment.posts:
+                overhead += self.cost_model.post_overhead_us() * len(segment.posts)
+            duration = segment.duration_us * block.duration_factor + overhead
+            if waited_us > 0.0 and segment.overlappable_us > 0.0:
+                # Work the block performed while busy-waiting (e.g. loading
+                # the other operand's tile) does not need to be repeated.
+                duration = max(0.0, duration - min(segment.overlappable_us, waited_us))
+            block.work_time_us += duration
+
+            if self.functional:
+                for access in segment.reads:
+                    self.memory.check_tile_read(
+                        access.tensor, access.tile_key, reader=block.name, tracked_tensors=self.tracked_tensors
+                    )
+            push(time + duration, "segment_done", block)
+
+        def wake_waiters(key: Tuple[str, int], time: float) -> None:
+            blocked = waiters.pop(key, [])
+            still_blocked: List[_BlockState] = []
+            seen: Set[int] = set()
+            for block in blocked:
+                if id(block) in seen:
+                    continue
+                seen.add(id(block))
+                if block.waiting_since_us is None:
+                    # Already resumed via another semaphore this instant.
+                    continue
+                segment = block.current_segment
+                if all(w.satisfied(self.memory) for w in segment.waits):
+                    # De-register from any other keys it was parked on.
+                    for other in list(block.registered_keys):
+                        if other != key and other in waiters:
+                            waiters[other] = [b for b in waiters[other] if b is not block]
+                    block.registered_keys.clear()
+                    waited = time - block.waiting_since_us
+                    block.wait_time_us += waited
+                    block.waiting_since_us = None
+                    schedule_segment_completion(block, time, resumed=True, waited_us=waited)
+                else:
+                    still_blocked.append(block)
+            if still_blocked:
+                waiters[key] = still_blocked
+
+        def apply_posts(segment: Segment, time: float) -> None:
+            for post in segment.posts:
+                post.apply(self.memory)
+                wake_waiters((post.array, post.index), time)
+
+        def complete_segment(block: _BlockState, time: float) -> None:
+            nonlocal completed_blocks_total
+            segment = block.current_segment
+            if self.functional and segment.compute is not None:
+                segment.compute(self.memory)
+            for access in segment.writes:
+                self.memory.mark_tile_written(access.tensor, access.tile_key)
+            apply_posts(segment, time)
+
+            block.segment_index += 1
+            if block.segment_index < len(block.program.segments):
+                start_segment(block, time)
+                return
+
+            # Block finished: free its SM slot, record the trace entry.
+            state = block.launch_state
+            occupancy = state.launch.occupancy
+            sm_free[block.sm_id] = min(1.0, sm_free[block.sm_id] + 1.0 / occupancy)
+            resident_blocks.discard(id(block))
+            block_objects.pop(id(block), None)
+            state.completed_blocks += 1
+            completed_blocks_total += 1
+
+            trace.add_block(
+                BlockRecord(
+                    kernel=state.launch.name,
+                    launch_index=state.launch_index,
+                    tile=block.tile,
+                    dispatch_index=block.dispatch_index,
+                    sm_id=block.sm_id,
+                    dispatch_time_us=block.dispatch_time_us,
+                    end_time_us=time,
+                    wait_time_us=block.wait_time_us,
+                    work_time_us=block.work_time_us,
+                )
+            )
+
+            if state.finished:
+                stream_advance(state.launch.stream.stream_id, time)
+
+        def dispatch(time: float) -> None:
+            """Place pending blocks of eligible kernels onto free SM slots."""
+            candidates = [
+                s
+                for s in states
+                if s.eligible and s.pending_blocks > 0
+            ]
+            candidates.sort(key=lambda s: (s.launch.stream.priority, s.launch_index))
+            for state in candidates:
+                need = 1.0 / state.launch.occupancy
+                while state.pending_blocks > 0:
+                    sm_id = _find_sm(sm_free, need)
+                    if sm_id is None:
+                        break
+                    sm_free[sm_id] -= need
+                    dispatch_index = state.dispatch_counter
+                    state.dispatch_counter += 1
+                    tile = state.launch.tile_for_dispatch(dispatch_index)
+                    program = state.launch.build_program(tile)
+                    block = _BlockState(
+                        launch_state=state,
+                        tile=tile,
+                        program=program,
+                        dispatch_index=dispatch_index,
+                        sm_id=sm_id,
+                        dispatch_time_us=time,
+                        duration_factor=self.cost_model.block_duration_factor(
+                            state.launch.name, dispatch_index
+                        ),
+                    )
+                    resident_blocks.add(id(block))
+                    block_objects[id(block)] = block
+
+                    if not state.started:
+                        state.started = True
+                        for post in state.launch.on_first_block_start:
+                            post.apply(self.memory)
+                            wake_waiters((post.array, post.index), time)
+
+                    if not program.segments:
+                        # A degenerate empty program completes immediately.
+                        push(time, "segment_done_empty", block)
+                    else:
+                        start_segment(block, time)
+
+        # --------------------------------------------------------------
+        # Main event loop
+        # --------------------------------------------------------------
+        while events:
+            processed += 1
+            if processed > self.max_events:
+                raise SimulationError(
+                    f"simulation exceeded {self.max_events} events; "
+                    "likely a livelock in the synchronization policy"
+                )
+            time, _, kind, payload = heapq.heappop(events)
+            if time + _EPSILON < now:
+                raise SimulationError("event queue produced a time in the past")
+            now = max(now, time)
+
+            if kind == "eligible":
+                mark_eligible(payload, now)  # type: ignore[arg-type]
+            elif kind == "segment_done":
+                complete_segment(payload, now)  # type: ignore[arg-type]
+            elif kind == "segment_done_empty":
+                block = payload  # type: ignore[assignment]
+                block.program.segments.append(Segment(label="empty"))
+                complete_segment(block, now)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind!r}")
+
+            # Coalesce events at the same timestamp before dispatching so a
+            # whole wave frees its slots before the next wave is placed.
+            while events and abs(events[0][0] - now) <= _EPSILON:
+                _, _, kind, payload = heapq.heappop(events)
+                if kind == "eligible":
+                    mark_eligible(payload, now)  # type: ignore[arg-type]
+                elif kind == "segment_done":
+                    complete_segment(payload, now)  # type: ignore[arg-type]
+                elif kind == "segment_done_empty":
+                    block = payload  # type: ignore[assignment]
+                    block.program.segments.append(Segment(label="empty"))
+                    complete_segment(block, now)
+
+            dispatch(now)
+
+            if not events and completed_blocks_total < total_blocks:
+                stuck = [block_objects[i].name for i in resident_blocks]
+                raise DeadlockError(
+                    "simulated GPU deadlocked: "
+                    f"{total_blocks - completed_blocks_total} blocks cannot make progress "
+                    f"({len(stuck)} resident blocks are busy-waiting). "
+                    "This is the failure the wait-kernel mechanism prevents (Section III-B).",
+                    waiting_blocks=stuck,
+                )
+
+        trace.total_time_us = now
+        host_issue_time = max(state.issue_time_us for state in states)
+        return SimulationResult(
+            total_time_us=now,
+            trace=trace,
+            memory=self.memory,
+            host_issue_time_us=host_issue_time,
+        )
+
+    # ------------------------------------------------------------------
+    # Setup helpers
+    # ------------------------------------------------------------------
+    def _prepare_launch_states(self, launches: Sequence[KernelLaunch]) -> List[_LaunchState]:
+        states: List[_LaunchState] = []
+        host_time = 0.0
+        names_seen: Set[str] = set()
+        for index, launch in enumerate(launches):
+            if launch.name in names_seen:
+                raise SimulationError(
+                    f"duplicate kernel name '{launch.name}'; launches must be uniquely named"
+                )
+            names_seen.add(launch.name)
+            host_time += launch.issue_delay_us + self.cost_model.kernel_launch_us()
+            states.append(_LaunchState(launch=launch, launch_index=index, issue_time_us=host_time))
+        return states
+
+    def _prepare_trace(self, states: Sequence[_LaunchState]) -> ExecutionTrace:
+        trace = ExecutionTrace(arch=self.arch)
+        for state in states:
+            launch = state.launch
+            trace.kernels[launch.name] = KernelStats(
+                name=launch.name,
+                launch_index=state.launch_index,
+                grid=launch.grid,
+                occupancy=launch.occupancy,
+                num_blocks=launch.num_blocks,
+                issue_time_us=state.issue_time_us,
+                waves=wave_count(launch.num_blocks, launch.occupancy, self.arch),
+                utilization=analytic_utilization(launch.num_blocks, launch.occupancy, self.arch),
+            )
+        return trace
+
+
+def _find_sm(sm_free: List[float], need: float) -> Optional[int]:
+    """Pick the SM with the most free capacity that can hold ``need``.
+
+    Preferring the emptiest SM spreads blocks across SMs the way the
+    hardware scheduler does, which keeps per-SM queueing effects out of the
+    wave timing.
+    """
+    best_id: Optional[int] = None
+    best_free = 0.0
+    for sm_id, free in enumerate(sm_free):
+        if free + _EPSILON >= need and free > best_free + _EPSILON:
+            best_id = sm_id
+            best_free = free
+    return best_id

@@ -1,0 +1,78 @@
+"""CUDA stream model.
+
+A CUDA stream is an ordered queue of operations: two kernels launched on the
+same stream execute one after the other (the consumer kernel cannot start
+until every thread block of the producer has finished).  This is exactly the
+*stream synchronization* baseline the paper improves upon; cuSync instead
+launches dependent kernels on different streams so their thread blocks can
+interleave.
+
+The simulator only needs two properties of streams: the per-stream ordering
+constraint and the priority used to order kernel dispatch when several
+streams have eligible kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Dict, Iterator, List, Optional
+
+_stream_ids = count()
+
+
+@dataclass(frozen=True)
+class Stream:
+    """A CUDA stream: an identity plus a scheduling priority.
+
+    Lower ``priority`` values mean higher scheduling priority, matching
+    CUDA where ``cudaStreamCreateWithPriority`` accepts negative values for
+    high-priority streams.
+    """
+
+    stream_id: int = field(default_factory=lambda: next(_stream_ids))
+    priority: int = 0
+    name: Optional[str] = None
+
+    def __str__(self) -> str:
+        label = self.name if self.name is not None else f"stream{self.stream_id}"
+        return f"{label}(prio={self.priority})"
+
+
+#: The default stream used when the caller does not create explicit streams,
+#: mirroring CUDA's stream 0.
+DEFAULT_STREAM = Stream(priority=0, name="default")
+
+
+class StreamManager:
+    """Creates streams and remembers the per-stream kernel order.
+
+    The executor components use this to assign streams to kernels: the
+    StreamSync baseline puts every kernel on one stream, cuSync creates one
+    stream per stage.
+    """
+
+    def __init__(self) -> None:
+        self._streams: List[Stream] = []
+        self._kernel_order: Dict[int, List[str]] = {}
+
+    def create(self, priority: int = 0, name: Optional[str] = None) -> Stream:
+        """Create a new stream with the given priority."""
+        stream = Stream(priority=priority, name=name)
+        self._streams.append(stream)
+        self._kernel_order[stream.stream_id] = []
+        return stream
+
+    def record_launch(self, stream: Stream, kernel_name: str) -> None:
+        """Remember that ``kernel_name`` was launched on ``stream``."""
+        self._kernel_order.setdefault(stream.stream_id, []).append(kernel_name)
+
+    def kernels_on(self, stream: Stream) -> List[str]:
+        """Names of the kernels launched on ``stream`` in launch order."""
+        return list(self._kernel_order.get(stream.stream_id, []))
+
+    def __iter__(self) -> Iterator[Stream]:
+        return iter(self._streams)
+
+    def __len__(self) -> int:
+        return len(self._streams)

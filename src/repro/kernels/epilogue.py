@@ -1,0 +1,86 @@
+"""Fused pointwise epilogues.
+
+The paper fuses pointwise computations with GeMM/Conv2D kernels: GPT-3's MLP
+fuses GeLU with the first GeMM (Figure 2a), LLaMA fuses SwiGLU with its
+third GeMM (Figure 3).  An epilogue contributes a small amount of extra
+compute to the tile's final segment and, in functional mode, transforms the
+computed tile values.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Epilogue(ABC):
+    """A pointwise function applied to an output tile as it is stored."""
+
+    #: Extra floating point operations per output element.
+    flops_per_element: float = 0.0
+    #: Extra input elements read per output element (e.g. SwiGLU reads XV).
+    extra_reads_per_element: float = 0.0
+
+    @abstractmethod
+    def apply(self, values: np.ndarray, memory=None, rows=None, cols=None, batch=0) -> np.ndarray:
+        """Apply the epilogue to ``values`` (a tile of the output)."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class Identity(Epilogue):
+    """No epilogue: the tile is stored unchanged."""
+
+    flops_per_element = 0.0
+
+    def apply(self, values, memory=None, rows=None, cols=None, batch=0):
+        return values
+
+
+class ReLU(Epilogue):
+    """Rectified linear unit."""
+
+    flops_per_element = 1.0
+
+    def apply(self, values, memory=None, rows=None, cols=None, batch=0):
+        return np.maximum(values, 0.0)
+
+
+class GeLU(Epilogue):
+    """Gaussian error linear unit (tanh approximation, as used by GPT-3)."""
+
+    flops_per_element = 10.0
+
+    def apply(self, values, memory=None, rows=None, cols=None, batch=0):
+        inner = math.sqrt(2.0 / math.pi) * (values + 0.044715 * values ** 3)
+        return 0.5 * values * (1.0 + np.tanh(inner))
+
+
+class SwiGLUMultiply(Epilogue):
+    """The SwiGLU gate of LLaMA's MLP: ``Swish(XW1) * XV`` (Figure 3).
+
+    The epilogue reads the matching tile of a second tensor (``gate_tensor``)
+    from global memory and multiplies element-wise after applying the Swish
+    (SiLU) activation to the GeMM result.
+    """
+
+    flops_per_element = 6.0
+    extra_reads_per_element = 1.0
+
+    def __init__(self, gate_tensor: str):
+        self.gate_tensor = gate_tensor
+
+    def apply(self, values, memory=None, rows=None, cols=None, batch=0):
+        swish = values / (1.0 + np.exp(-values))
+        if memory is None or not memory.has_tensor(self.gate_tensor):
+            return swish
+        gate = memory.tensor(self.gate_tensor)
+        if gate.ndim == 3:
+            gate_tile = gate[batch, rows[0]:rows[1], cols[0]:cols[1]]
+        else:
+            gate_tile = gate[rows[0]:rows[1], cols[0]:cols[1]]
+        return swish * gate_tile

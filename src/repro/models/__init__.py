@@ -1,0 +1,53 @@
+"""ML-model workloads used in the paper's evaluation (Section V).
+
+The paper evaluates cuSync on four models, all running inference with
+8-way model parallelism on V100 GPUs:
+
+* **MegatronLM GPT-3 145B** — transformer with hidden dimension 12288;
+  MLP (two GeMMs + fused GeLU, Figure 2a) and Attention (fused QKV GeMM,
+  cached attention, fused Softmax-Dropout, output GeMM, Figure 2b).
+* **LLaMA 65.2B** — hidden dimension 8192; MLP with three GeMMs and a
+  SwiGLU gate (Figure 3), same Attention structure as GPT-3.
+* **ResNet-38** and **VGG-19** — chains of 3x3 Conv2D layers with the
+  shapes of Table II.
+
+Each module builds the kernels of one block (as plain
+:class:`~repro.kernels.base.TiledKernel` objects) and knows how to wire
+them into a cuSync pipeline, a StreamSync baseline, or a Stream-K baseline,
+so the benchmark harness can compare all three on identical problems.
+"""
+
+from repro.models.config import (
+    TransformerConfig,
+    GPT3_145B,
+    LLAMA_65B,
+    ConvLayerSpec,
+    RESNET38_LAYERS,
+    VGG19_LAYERS,
+    resnet38_config,
+    vgg19_config,
+)
+from repro.models.mlp import GptMlp, gpt3_mlp_gemm_configs
+from repro.models.llama_mlp import LlamaMlp
+from repro.models.attention import Attention
+from repro.models.conv_layers import ConvChain
+from repro.models.inference import TransformerLayer, VisionModel, InferenceEstimate
+
+__all__ = [
+    "TransformerConfig",
+    "GPT3_145B",
+    "LLAMA_65B",
+    "ConvLayerSpec",
+    "RESNET38_LAYERS",
+    "VGG19_LAYERS",
+    "resnet38_config",
+    "vgg19_config",
+    "GptMlp",
+    "gpt3_mlp_gemm_configs",
+    "LlamaMlp",
+    "Attention",
+    "ConvChain",
+    "TransformerLayer",
+    "VisionModel",
+    "InferenceEstimate",
+]

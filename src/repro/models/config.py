@@ -1,0 +1,162 @@
+"""Model configurations: transformer shapes and convolution layer tables.
+
+All shapes are taken directly from the paper: Figure 2 (GPT-3 MLP and
+Attention with hidden dimension H = 12288), Figure 3 (LLaMA MLP with
+H = 8192 and an H/3 intermediate size), and Table II (the Conv2D layers of
+ResNet-38 and VGG-19).  Model parallelism follows Megatron-LM: the weight
+matrices of each block are partitioned across ``tensor_parallel`` GPUs, so a
+single GPU executes the per-GPU shard shapes shown in the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.common.validation import check_positive
+from repro.errors import ModelConfigError
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Shape of one transformer model under tensor (model) parallelism."""
+
+    name: str
+    #: Hidden dimension H.
+    hidden: int
+    #: Number of transformer layers (each has one Attention and one MLP).
+    layers: int
+    #: Number of GPUs the weights are partitioned across.
+    tensor_parallel: int = 8
+    #: MLP intermediate size as a fraction of ``hidden`` *before* splitting
+    #: across GPUs (GPT-3 uses 4H, LLaMA uses 8/3 H rounded to H/3 * 8).
+    mlp_expansion: float = 4.0
+    #: Whether the MLP uses the SwiGLU gate (LLaMA) or GeLU (GPT-3).
+    swiglu: bool = False
+    #: Maximum number of tokens per request supported by the model.
+    max_sequence: int = 2048
+
+    def __post_init__(self) -> None:
+        check_positive("hidden", self.hidden)
+        check_positive("layers", self.layers)
+        check_positive("tensor_parallel", self.tensor_parallel)
+        if self.hidden % self.tensor_parallel != 0:
+            raise ModelConfigError(
+                f"{self.name}: hidden={self.hidden} is not divisible by "
+                f"tensor_parallel={self.tensor_parallel}"
+            )
+
+    # ------------------------------------------------------------------
+    # Per-GPU shard sizes
+    # ------------------------------------------------------------------
+    @property
+    def mlp_intermediate_per_gpu(self) -> int:
+        """Columns of the first MLP GeMM on one GPU.
+
+        GPT-3: ``4H / 8``;  LLaMA: ``H/3`` (the paper's Figure 3 shards the
+        8/3 H intermediate over 8 GPUs, giving H/3 per GPU).
+        """
+        if self.swiglu:
+            return self.hidden // 3
+        return int(self.hidden * self.mlp_expansion) // self.tensor_parallel
+
+    @property
+    def attention_qkv_per_gpu(self) -> int:
+        """Columns of the fused QKV GeMM on one GPU: ``3H / 8``."""
+        return 3 * self.hidden // self.tensor_parallel
+
+    @property
+    def attention_head_dim_per_gpu(self) -> int:
+        """Per-GPU width of Q, K and V: ``H / 8``."""
+        return self.hidden // self.tensor_parallel
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: H={self.hidden}, layers={self.layers}, "
+            f"TP={self.tensor_parallel}, MLP intermediate/GPU={self.mlp_intermediate_per_gpu}"
+        )
+
+
+#: MegatronLM GPT-3 145B (Figure 2): H = 12288, 96 layers, 8-way parallel.
+GPT3_145B = TransformerConfig(
+    name="GPT-3 145B",
+    hidden=12288,
+    layers=96,
+    tensor_parallel=8,
+    mlp_expansion=4.0,
+    swiglu=False,
+    max_sequence=2048,
+)
+
+#: LLaMA 65.2B (Figure 3): H = 8192, 80 layers, SwiGLU MLP, 8-way parallel.
+LLAMA_65B = TransformerConfig(
+    name="LLaMA 65B",
+    hidden=8192,
+    layers=80,
+    tensor_parallel=8,
+    mlp_expansion=8.0 / 3.0,
+    swiglu=True,
+    max_sequence=2048,
+)
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """One row of the paper's Table II: a stack of identical Conv2D layers."""
+
+    #: Input/output image height and width (P, Q).
+    image: int
+    #: Input channels C (equal to output channels K for these layers).
+    channels: int
+    #: Convolution kernel size (R = S = 3 for every layer in Table II).
+    kernel: int
+    #: Number of dependent Conv2D operations per layer.
+    convs_per_layer: int
+    #: Number of layers with this shape in the network.
+    layers: int
+
+    def __post_init__(self) -> None:
+        check_positive("image", self.image)
+        check_positive("channels", self.channels)
+        check_positive("convs_per_layer", self.convs_per_layer)
+        check_positive("layers", self.layers)
+
+
+#: ResNet-38 layer table (Table II): 2 convs per layer.
+RESNET38_LAYERS: Tuple[ConvLayerSpec, ...] = (
+    ConvLayerSpec(image=56, channels=64, kernel=3, convs_per_layer=2, layers=3),
+    ConvLayerSpec(image=28, channels=128, kernel=3, convs_per_layer=2, layers=4),
+    ConvLayerSpec(image=14, channels=256, kernel=3, convs_per_layer=2, layers=6),
+    ConvLayerSpec(image=7, channels=512, kernel=3, convs_per_layer=2, layers=3),
+)
+
+#: VGG-19 layer table (Table II): 2 convs for the first two stages, 4 for the
+#: deeper stages.
+VGG19_LAYERS: Tuple[ConvLayerSpec, ...] = (
+    ConvLayerSpec(image=56, channels=64, kernel=3, convs_per_layer=2, layers=1),
+    ConvLayerSpec(image=28, channels=128, kernel=3, convs_per_layer=2, layers=1),
+    ConvLayerSpec(image=14, channels=256, kernel=3, convs_per_layer=4, layers=1),
+    ConvLayerSpec(image=7, channels=512, kernel=3, convs_per_layer=4, layers=1),
+)
+
+
+@dataclass(frozen=True)
+class VisionModelConfig:
+    """A vision model as a list of conv-layer stacks."""
+
+    name: str
+    stages: Tuple[ConvLayerSpec, ...]
+    max_batch: int = 32
+
+    def total_conv_layers(self) -> int:
+        return sum(spec.layers * spec.convs_per_layer for spec in self.stages)
+
+
+def resnet38_config() -> VisionModelConfig:
+    """ResNet-38 as described in Table II."""
+    return VisionModelConfig(name="ResNet-38", stages=RESNET38_LAYERS)
+
+
+def vgg19_config() -> VisionModelConfig:
+    """VGG-19 as described in Table II."""
+    return VisionModelConfig(name="VGG-19", stages=VGG19_LAYERS)

@@ -1,0 +1,201 @@
+"""End-to-end inference estimates (Figure 8).
+
+The paper integrates the cuSync-synchronized kernels into the full models
+and reports the reduction in end-to-end inference time.  A full forward
+pass is a repetition of identical blocks (96 transformer layers for GPT-3,
+80 for LLaMA, the Table II stages for ResNet/VGG) plus per-layer collective
+communication for the model-parallel transformers.  This module therefore
+simulates one instance of each distinct block and composes the end-to-end
+time analytically:
+
+``total = sum over blocks (simulated block time * block count) + collectives``
+
+Communication time is identical for StreamSync and cuSync (cuSync does not
+change the collectives), so it dilutes the relative improvement — exactly
+the effect that makes Figure 8's end-to-end percentages smaller than the
+per-block percentages of Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpu.arch import GpuArchitecture, TESLA_V100
+from repro.gpu.costmodel import CostModel
+from repro.models.attention import Attention
+from repro.models.config import (
+    GPT3_145B,
+    TransformerConfig,
+    VisionModelConfig,
+)
+from repro.models.conv_layers import ConvChain
+from repro.models.llama_mlp import LlamaMlp
+from repro.models.mlp import GptMlp
+from repro.models.workload import PolicySpec, Workload
+from repro.cusync.optimizations import OptimizationFlags
+
+#: Bytes per fp16 element, used for all-reduce volume estimates.
+FP16_BYTES = 2
+
+
+@dataclass
+class InferenceEstimate:
+    """End-to-end inference time under each execution scheme."""
+
+    model: str
+    streamsync_us: float
+    cusync_us: float
+    #: Time spent in collectives / non-overlappable glue, common to both.
+    common_us: float = 0.0
+    per_block_us: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        """Fractional reduction in inference time (0.1 == 10%)."""
+        if self.streamsync_us <= 0:
+            return 0.0
+        return (self.streamsync_us - self.cusync_us) / self.streamsync_us
+
+
+def _best_cusync_time(workload: Workload, policies: List[str]) -> float:
+    """Best cuSync time across the given policy families (the paper reports
+    the best policy per configuration)."""
+    return min(workload.run_cusync(policy=family).total_time_us for family in policies)
+
+
+class TransformerLayer:
+    """One transformer layer: an Attention block plus an MLP block."""
+
+    def __init__(
+        self,
+        config: TransformerConfig = GPT3_145B,
+        batch: int = 1,
+        seq: int = 512,
+        cached: int = 0,
+        arch: GpuArchitecture = TESLA_V100,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.config = config
+        self.batch = batch
+        self.seq = seq
+        self.cached = cached
+        self.arch = arch
+        self.cost_model = cost_model if cost_model is not None else CostModel(arch=arch)
+
+    # ------------------------------------------------------------------
+    def attention(self) -> Attention:
+        return Attention(
+            config=self.config,
+            batch=self.batch,
+            seq=self.seq,
+            cached=self.cached,
+            arch=self.arch,
+            cost_model=self.cost_model,
+        )
+
+    def mlp(self) -> Workload:
+        batch_seq = self.batch * self.seq
+        if self.config.swiglu:
+            return LlamaMlp(
+                config=self.config, batch_seq=batch_seq, arch=self.arch, cost_model=self.cost_model
+            )
+        return GptMlp(
+            config=self.config, batch_seq=batch_seq, arch=self.arch, cost_model=self.cost_model
+        )
+
+    def allreduce_time_us(self) -> float:
+        """Per-layer all-reduce cost of Megatron-style model parallelism.
+
+        Each layer performs two all-reduces over the ``[B*S, H]``
+        activations (one after attention, one after the MLP).  A ring
+        all-reduce moves ``2 * (p-1)/p`` times the buffer over NVLink.
+        """
+        nvlink = self.arch.extras.get("nvlink_bandwidth_bytes_us", 150_000.0)
+        tokens = self.batch * self.seq
+        buffer_bytes = tokens * self.config.hidden * FP16_BYTES
+        parallel = self.config.tensor_parallel
+        traffic = 2.0 * (parallel - 1) / parallel * buffer_bytes
+        latency = 10.0  # per-collective launch/latency floor in µs
+        return 2.0 * (traffic / nvlink + latency)
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self,
+        policies: Optional[List[str]] = None,
+        attention_policies: Optional[List[str]] = None,
+    ) -> InferenceEstimate:
+        """Full-model inference estimate for this layer's configuration."""
+        policies = policies if policies is not None else ["TileSync", "RowSync"]
+        attention_policies = (
+            attention_policies
+            if attention_policies is not None
+            else policies + ["StridedTileSync"]
+        )
+        attention = self.attention()
+        mlp = self.mlp()
+
+        attention_stream = attention.run_streamsync().total_time_us
+        attention_cusync = _best_cusync_time(attention, attention_policies)
+        mlp_stream = mlp.run_streamsync().total_time_us
+        mlp_cusync = _best_cusync_time(mlp, policies)
+
+        layers = self.config.layers
+        common = self.allreduce_time_us() * layers
+        streamsync = (attention_stream + mlp_stream) * layers + common
+        cusync = (attention_cusync + mlp_cusync) * layers + common
+        return InferenceEstimate(
+            model=self.config.name,
+            streamsync_us=streamsync,
+            cusync_us=cusync,
+            common_us=common,
+            per_block_us={
+                "attention": {"StreamSync": attention_stream, "cuSync": attention_cusync},
+                "mlp": {"StreamSync": mlp_stream, "cuSync": mlp_cusync},
+            },
+        )
+
+
+class VisionModel:
+    """A full vision model (ResNet-38 or VGG-19) built from Table II stages."""
+
+    def __init__(
+        self,
+        config: VisionModelConfig,
+        batch: int = 1,
+        arch: GpuArchitecture = TESLA_V100,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.config = config
+        self.batch = batch
+        self.arch = arch
+        self.cost_model = cost_model if cost_model is not None else CostModel(arch=arch)
+
+    def stage_chain(self, stage_index: int) -> ConvChain:
+        spec = self.config.stages[stage_index]
+        return ConvChain(
+            spec=spec, batch=self.batch, arch=self.arch, cost_model=self.cost_model
+        )
+
+    def estimate(self, policies: Optional[List[str]] = None) -> InferenceEstimate:
+        """Full-network inference estimate for this batch size."""
+        policies = policies if policies is not None else ["RowSync", "Conv2DTileSync"]
+        streamsync = 0.0
+        cusync = 0.0
+        per_block: Dict[str, Dict[str, float]] = {}
+        for index, spec in enumerate(self.config.stages):
+            chain = self.stage_chain(index)
+            stream = chain.run_streamsync().total_time_us
+            synced = _best_cusync_time(chain, policies)
+            streamsync += stream * spec.layers
+            cusync += synced * spec.layers
+            per_block[f"stage{index}_c{spec.channels}"] = {
+                "StreamSync": stream,
+                "cuSync": synced,
+            }
+        return InferenceEstimate(
+            model=self.config.name,
+            streamsync_us=streamsync,
+            cusync_us=cusync,
+            per_block_us=per_block,
+        )

@@ -1,0 +1,221 @@
+"""Common machinery for model workloads.
+
+A *workload* is a short chain of dependent kernels (an MLP, an attention
+block, a pair of Conv2Ds...).  Every workload can be executed three ways —
+StreamSync, Stream-K, or a cuSync pipeline under a chosen policy — on
+identical kernels, which is what the evaluation harness compares.
+
+Subclasses implement :meth:`build`, returning fresh kernels plus their
+dependence structure; the runners here assemble the executors.  Kernels are
+rebuilt for every run because executors attach synchronization state to
+them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.errors import ModelConfigError
+from repro.gpu.arch import GpuArchitecture, TESLA_V100
+from repro.gpu.costmodel import CostModel
+from repro.gpu.memory import GlobalMemory
+from repro.kernels.base import TiledKernel
+from repro.kernels.gemm import GemmKernel
+from repro.baselines.streamsync import StreamSyncExecutor
+from repro.baselines.streamk import StreamKExecutor
+from repro.cusync.custage import RangeMap
+from repro.cusync.handle import CuSyncPipeline, PipelineResult
+from repro.cusync.optimizations import OptimizationFlags, auto_optimizations
+from repro.cusync.policies import Conv2DTileSync, RowSync, StridedSync, SyncPolicy, TileSync
+from repro.cusync.tile_orders import GroupedColumnsOrder, RowMajorOrder, TileOrder
+
+#: Policy selector: either a policy name understood by :func:`make_policy`
+#: or an explicit per-stage list of policy instances.
+PolicySpec = Union[str, List[SyncPolicy]]
+
+
+@dataclass
+class DependencySpec:
+    """One producer → consumer edge inside a workload."""
+
+    producer_index: int
+    tensor: str
+    range_map: Optional[RangeMap] = None
+
+
+@dataclass
+class KernelSpec:
+    """One kernel of a workload plus its dependence metadata."""
+
+    kernel: TiledKernel
+    dependencies: List[DependencySpec] = field(default_factory=list)
+    #: When the workload is run under the ``StridedTileSync`` policy, this
+    #: stage's semaphores group ``strided_groups`` column tiles together
+    #: (the Q/K/V slices of the fused attention GeMM).
+    strided_groups: Optional[int] = None
+
+
+def make_policy(name: str, spec: KernelSpec) -> SyncPolicy:
+    """Build the policy instance a named policy family uses for one stage."""
+    normalized = name.lower()
+    if normalized in ("tilesync", "tile"):
+        return TileSync()
+    if normalized in ("rowsync", "row"):
+        return RowSync()
+    if normalized in ("conv2dtilesync", "conv2dtile"):
+        return Conv2DTileSync()
+    if normalized in ("stridedtilesync", "strided"):
+        if spec.strided_groups is not None:
+            grid = spec.kernel.stage_geometry().logical_grid
+            if grid.x % spec.strided_groups == 0 and grid.x > spec.strided_groups:
+                return StridedSync(stride=grid.x // spec.strided_groups)
+        return TileSync()
+    raise ModelConfigError(f"unknown synchronization policy family {name!r}")
+
+
+def make_order(name: str, spec: KernelSpec) -> TileOrder:
+    """Tile processing order paired with a policy family."""
+    if name.lower() in ("stridedtilesync", "strided") and spec.strided_groups is not None:
+        grid = spec.kernel.stage_geometry().logical_grid
+        if grid.x % spec.strided_groups == 0 and grid.x > spec.strided_groups:
+            return GroupedColumnsOrder(group=spec.strided_groups)
+    return RowMajorOrder()
+
+
+class Workload(ABC):
+    """A chain of dependent kernels that can be run under any scheme."""
+
+    def __init__(
+        self,
+        arch: GpuArchitecture = TESLA_V100,
+        cost_model: Optional[CostModel] = None,
+        functional: bool = False,
+    ) -> None:
+        self.arch = arch
+        self.cost_model = cost_model if cost_model is not None else CostModel(arch=arch)
+        self.functional = functional
+
+    # ------------------------------------------------------------------
+    # Subclass responsibilities
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def build(self) -> List[KernelSpec]:
+        """Create fresh kernels (and their dependence structure)."""
+
+    def input_tensors(self, rng: Optional[np.random.Generator] = None) -> Dict[str, np.ndarray]:
+        """Input arrays for functional simulation (weights, activations)."""
+        return {}
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    # ------------------------------------------------------------------
+    # Execution under the three schemes
+    # ------------------------------------------------------------------
+    def run_streamsync(self, memory: Optional[GlobalMemory] = None) -> PipelineResult:
+        """Execute with CUDA stream synchronization (the baseline)."""
+        specs = self.build()
+        executor = StreamSyncExecutor(
+            arch=self.arch, cost_model=self.cost_model, functional=self.functional
+        )
+        return executor.run(
+            [spec.kernel for spec in specs],
+            memory=memory,
+            tensors=self.input_tensors() if self.functional else None,
+        )
+
+    def run_streamk(self, memory: Optional[GlobalMemory] = None) -> PipelineResult:
+        """Execute with Stream-K GeMMs under stream synchronization."""
+        specs = self.build()
+        executor = StreamKExecutor(arch=self.arch, cost_model=self.cost_model)
+        items = [
+            StreamKExecutor.convert(spec.kernel, self.cost_model)
+            if isinstance(spec.kernel, GemmKernel)
+            else spec.kernel
+            for spec in specs
+        ]
+        return executor.run(items, memory=memory)
+
+    def run_cusync(
+        self,
+        policy: PolicySpec = "TileSync",
+        optimizations: Optional[OptimizationFlags] = None,
+        memory: Optional[GlobalMemory] = None,
+    ) -> PipelineResult:
+        """Execute with a cuSync pipeline under the chosen policy family.
+
+        ``optimizations=None`` applies the paper's automatic W/R/T choice
+        (Section IV-C) based on the wave counts of the kernels involved.
+        """
+        specs = self.build()
+        pipeline = CuSyncPipeline(
+            arch=self.arch, cost_model=self.cost_model, functional=self.functional
+        )
+
+        flags = optimizations
+        if flags is None:
+            flags = self._auto_flags(specs)
+
+        stages = []
+        for spec in specs:
+            if isinstance(policy, str):
+                stage_policy = make_policy(policy, spec)
+                stage_order = make_order(policy, spec)
+            else:
+                stage_policy = policy[len(stages)]
+                stage_order = RowMajorOrder()
+            stages.append(
+                pipeline.add_stage(
+                    spec.kernel, policy=stage_policy, order=stage_order, optimizations=flags
+                )
+            )
+        for index, spec in enumerate(specs):
+            for dependency in spec.dependencies:
+                pipeline.add_dependency(
+                    stages[dependency.producer_index],
+                    stages[index],
+                    dependency.tensor,
+                    range_map=dependency.range_map,
+                )
+        return pipeline.run(
+            memory=memory,
+            tensors=self.input_tensors() if self.functional else None,
+        )
+
+    def _auto_flags(self, specs: List[KernelSpec]) -> OptimizationFlags:
+        blocks = [spec.kernel.grid.volume for spec in specs]
+        occupancies = [spec.kernel.occupancy() for spec in specs]
+        flags = auto_optimizations(
+            producer_blocks=max(blocks),
+            consumer_blocks=max(blocks),
+            producer_occupancy=min(occupancies),
+            consumer_occupancy=min(occupancies),
+            arch=self.arch,
+        )
+        return flags
+
+    # ------------------------------------------------------------------
+    # Convenience for benchmarks
+    # ------------------------------------------------------------------
+    def improvement_over_streamsync(
+        self, policy: PolicySpec = "TileSync", optimizations: Optional[OptimizationFlags] = None
+    ) -> float:
+        """Fractional improvement of cuSync over StreamSync (0.1 == 10%)."""
+        baseline = self.run_streamsync().total_time_us
+        synced = self.run_cusync(policy=policy, optimizations=optimizations).total_time_us
+        return (baseline - synced) / baseline
+
+    def best_policy(
+        self, policies: Optional[List[str]] = None
+    ) -> Dict[str, float]:
+        """Run every policy family and report times (plus the baselines)."""
+        policies = policies if policies is not None else ["TileSync", "RowSync"]
+        results = {"StreamSync": self.run_streamsync().total_time_us}
+        for family in policies:
+            results[family] = self.run_cusync(policy=family).total_time_us
+        return results

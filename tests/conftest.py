@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite.
+
+Tests that exercise the simulator use a scaled-down GPU (8 SMs) so pipelines
+with a handful of thread blocks already show multi-wave behaviour and run in
+milliseconds; architecture-accuracy tests use the real V100 preset.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpu.arch import TESLA_V100
+from repro.gpu.costmodel import CostModel
+
+
+@pytest.fixture
+def small_arch():
+    """An 8-SM GPU with no launch latency, for fast deterministic tests."""
+    return TESLA_V100.with_overrides(
+        name="test-gpu",
+        num_sms=8,
+        kernel_launch_latency_us=0.0,
+        kernel_dispatch_latency_us=0.0,
+    )
+
+
+@pytest.fixture
+def small_cost_model(small_arch):
+    """Cost model for the small test GPU with jitter disabled."""
+    return CostModel(arch=small_arch, duration_jitter=0.0)
+
+
+@pytest.fixture
+def v100_cost_model():
+    """Cost model for the paper's Tesla V100."""
+    return CostModel(arch=TESLA_V100)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,73 @@
+"""Tests for the StreamSync and Stream-K baseline executors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.kernels.epilogue import GeLU
+from repro.kernels.gemm import GemmConfig, GemmKernel, GemmProblem
+from repro.kernels.streamk import StreamKGemmKernel
+from repro.baselines import StreamKExecutor, StreamSyncExecutor
+
+
+def mlp_kernels(cost_model, m=96, n=128, k=128):
+    problem1 = GemmProblem(m=m, n=n, k=k, a="X", b="W1", c="XW1")
+    problem2 = GemmProblem(m=m, n=n, k=n, a="XW1", b="W2", c="XW12")
+    config = GemmConfig(tile_m=32, tile_n=32, tile_k=32)
+    return (
+        GemmKernel("g1", problem1, config, epilogue=GeLU(), cost_model=cost_model),
+        GemmKernel("g2", problem2, config, cost_model=cost_model, sync_inputs=("XW1",)),
+    )
+
+
+class TestStreamSyncExecutor:
+    def test_kernels_serialize(self, small_arch, small_cost_model):
+        k1, k2 = mlp_kernels(small_cost_model)
+        result = StreamSyncExecutor(arch=small_arch, cost_model=small_cost_model).run([k1, k2])
+        stats = result.simulation.trace.kernels
+        assert stats["g2"].start_time_us >= stats["g1"].end_time_us
+
+    def test_sync_stripped_from_kernels(self, small_arch, small_cost_model):
+        from repro.kernels.base import NoSync
+
+        k1, k2 = mlp_kernels(small_cost_model)
+        StreamSyncExecutor(arch=small_arch, cost_model=small_cost_model).run([k1, k2])
+        assert isinstance(k2.sync, NoSync)
+
+    def test_functional_result(self, small_arch, small_cost_model, rng):
+        k1, k2 = mlp_kernels(small_cost_model)
+        X = rng.standard_normal((96, 128)).astype(np.float32)
+        W1 = rng.standard_normal((128, 128)).astype(np.float32) * 0.1
+        W2 = rng.standard_normal((128, 128)).astype(np.float32) * 0.1
+        executor = StreamSyncExecutor(arch=small_arch, cost_model=small_cost_model, functional=True)
+        result = executor.run([k1, k2], tensors={"X": X, "W1": W1, "W2": W2})
+        np.testing.assert_allclose(
+            result.tensor("XW12"), GeLU().apply(X @ W1) @ W2, rtol=1e-3, atol=1e-3
+        )
+
+    def test_rejects_empty(self, small_arch, small_cost_model):
+        with pytest.raises(SimulationError):
+            StreamSyncExecutor(arch=small_arch, cost_model=small_cost_model).run([])
+
+
+class TestStreamKExecutor:
+    def test_convert_gemm(self, v100_cost_model):
+        k1, _ = mlp_kernels(v100_cost_model, m=256, n=6144, k=4096)
+        converted = StreamKExecutor.convert(k1, v100_cost_model)
+        assert isinstance(converted, StreamKGemmKernel)
+
+    def test_convert_leaves_non_gemm(self, v100_cost_model):
+        from repro.kernels.softmax_dropout import SoftmaxDropoutKernel, SoftmaxDropoutProblem
+
+        softmax = SoftmaxDropoutKernel("s", SoftmaxDropoutProblem(rows=8, row_length=8))
+        assert StreamKExecutor.convert(softmax, v100_cost_model) is softmax
+
+    def test_run_mixed_pipeline(self, v100_cost_model):
+        problem = GemmProblem(m=256, n=6144, k=2048)
+        streamk = StreamKGemmKernel("gemm", problem, GemmConfig(256, 256, 32), cost_model=v100_cost_model)
+        result = StreamKExecutor(cost_model=v100_cost_model).run([streamk])
+        assert result.total_time_us > 0.0
+
+    def test_rejects_empty(self, v100_cost_model):
+        with pytest.raises(SimulationError):
+            StreamKExecutor(cost_model=v100_cost_model).run([])

@@ -1,0 +1,151 @@
+"""Tests for the experiment harness plus end-to-end integration checks."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    format_percent,
+    format_table,
+    overhead_experiment,
+    table1_utilization,
+    table3_lines_changed,
+)
+from repro.bench.experiments import figure7_conv, table5_conv_optimizations
+from repro.dsl import AutoTuner
+from repro.errors import DataRaceError
+from repro.gpu.arch import TESLA_V100
+from repro.models import Attention, ConvChain, GptMlp, TransformerConfig
+from repro.models.config import RESNET38_LAYERS
+from repro.models.inference import TransformerLayer, VisionModel
+from repro.models.config import resnet38_config
+
+TINY = TransformerConfig(name="tiny", hidden=256, layers=2, tensor_parallel=8)
+
+
+class TestReporting:
+    def test_format_percent(self):
+        assert format_percent(0.153) == "15.3%"
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="t")
+        lines = table.splitlines()
+        assert lines[0] == "t"
+        assert "10" in lines[-1]
+
+
+class TestExperiments:
+    def test_table1_matches_paper_batch_256(self):
+        rows = table1_utilization(batch_sizes=(256,))
+        producer = next(row for row in rows if row["gemm"] == "Producer")
+        # Table I, batch 256: 192 thread blocks, 2x80 per wave, 1.2 waves, 60%.
+        assert producer["thread_blocks"] == 192
+        assert producer["blocks_per_wave"] == 160
+        assert producer["waves"] == pytest.approx(1.2)
+        assert producer["utilization"] == pytest.approx(0.6)
+
+    def test_table1_utilization_improves_with_batch(self):
+        rows = table1_utilization(batch_sizes=(256, 1024))
+        by_batch = {(row["batch"], row["gemm"]): row["utilization"] for row in rows}
+        assert by_batch[(1024, "Producer")] >= by_batch[(256, "Producer")]
+
+    def test_table3_kernels_touch_few_lines(self):
+        rows = table3_lines_changed()
+        assert {row["kernel"] for row in rows} >= {"GeMM", "Conv2D", "Softmax-Dropout"}
+        for row in rows:
+            assert 0 < row["lines_changed"] <= 10
+            assert row["fraction"] < 0.05
+
+    def test_overhead_experiment_small(self):
+        result = overhead_experiment(blocks=256)
+        assert abs(result["overhead"]) < 0.10
+        assert result["streamsync_us"] > 0
+
+    def test_figure7_rows_have_policies(self):
+        rows = figure7_conv(model="resnet", channels=(128,), batches=(4,))
+        assert len(rows) == 1
+        row = rows[0]
+        assert "RowSync" in row and "Conv2DTileSync" in row
+        assert row["best"] == max(row["RowSync"], row["Conv2DTileSync"])
+
+    def test_table5_conv_optimizations_monotone(self):
+        rows = table5_conv_optimizations(channels=(128,), batches=(1,))
+        row = rows[0]
+        assert row["+WRT"] <= row["Vanilla"] + 1e-6
+
+
+class TestAutoTuner:
+    def test_tuner_reports_best(self):
+        tuner = AutoTuner(policies=["TileSync", "RowSync"])
+        result = tuner.tune(GptMlp(config=TINY, batch_seq=96))
+        assert result.best_policy in ("TileSync", "RowSync")
+        assert "StreamSync" in result.times_us
+        assert result.best_time_us <= min(
+            result.times_us["TileSync"], result.times_us["RowSync"]
+        ) + 1e-9
+        assert "auto-tuning" in result.summary()
+
+
+class TestEndToEndEstimates:
+    def test_transformer_layer_estimate(self):
+        layer = TransformerLayer(config=TINY, batch=1, seq=64)
+        estimate = layer.estimate(policies=["TileSync"], attention_policies=["TileSync"])
+        assert estimate.streamsync_us > 0
+        assert estimate.cusync_us > 0
+        assert estimate.common_us > 0
+        assert -0.2 < estimate.improvement < 0.5
+
+    def test_vision_model_estimate_positive(self):
+        model = VisionModel(config=resnet38_config(), batch=1)
+        estimate = model.estimate(policies=["Conv2DTileSync"])
+        assert estimate.improvement > 0.0
+        assert len(estimate.per_block_us) == 4
+
+
+class TestCrossSchemeConsistency:
+    """The same workload must produce identical numerics under every scheme."""
+
+    def test_all_policies_agree_numerically(self):
+        outputs = {}
+        for policy in ("TileSync", "RowSync"):
+            workload = GptMlp(config=TINY, batch_seq=96, functional=True)
+            outputs[policy] = workload.run_cusync(policy=policy).tensor("XW12")
+        workload = GptMlp(config=TINY, batch_seq=96, functional=True)
+        outputs["StreamSync"] = workload.run_streamsync().tensor("XW12")
+        baseline = outputs.pop("StreamSync")
+        for name, value in outputs.items():
+            np.testing.assert_allclose(value, baseline, rtol=1e-5, atol=1e-5, err_msg=name)
+
+    def test_attention_policies_agree(self):
+        outputs = []
+        for policy in ("TileSync", "StridedTileSync"):
+            workload = Attention(config=TINY, batch=1, seq=64, functional=True, dropout=0.0)
+            outputs.append(workload.run_cusync(policy=policy).tensor("XW12"))
+        np.testing.assert_allclose(outputs[0], outputs[1], rtol=1e-5, atol=1e-5)
+
+    def test_under_synchronized_policy_detected_as_race(self):
+        """A policy that waits for too few posts must surface as a data race.
+
+        ``LeakyRowSync`` shares one semaphore per row (like RowSync) but only
+        requires a single post before consumers proceed, so a consumer can
+        read row tiles the producer has not yet written.
+        """
+        from repro.cusync.policies import RowSync
+
+        class LeakyRowSync(RowSync):
+            name = "LeakyRowSync"
+
+            def expected_value(self, tile, grid):
+                return 1
+
+        from repro.kernels.gemm import GemmConfig
+
+        # Small tiles so each output row of the producer spans several tiles.
+        configs = (GemmConfig(32, 32, 32), GemmConfig(32, 32, 32))
+        workload = GptMlp(config=TINY, batch_seq=96, functional=True, gemm_configs=configs)
+        with pytest.raises(DataRaceError):
+            workload.run_cusync(policy=[LeakyRowSync(), LeakyRowSync()])
+
+    def test_improvements_deterministic_across_runs(self):
+        first = ConvChain(RESNET38_LAYERS[0], batch=1).improvement_over_streamsync("RowSync")
+        second = ConvChain(RESNET38_LAYERS[0], batch=1).improvement_over_streamsync("RowSync")
+        assert first == pytest.approx(second, abs=1e-12)

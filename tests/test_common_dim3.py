@@ -1,0 +1,83 @@
+"""Tests for Dim3 and ceil_div."""
+
+import pytest
+
+from repro.common.dim3 import Dim3, ceil_div
+
+
+class TestCeilDiv:
+    def test_exact_division(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_numerator(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_one_denominator(self):
+        assert ceil_div(9, 1) == 9
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+
+class TestDim3:
+    def test_defaults_to_ones(self):
+        assert Dim3().as_tuple() == (1, 1, 1)
+
+    def test_volume(self):
+        assert Dim3(3, 2, 4).volume == 24
+
+    def test_iteration_and_indexing(self):
+        dim = Dim3(5, 6, 7)
+        assert list(dim) == [5, 6, 7]
+        assert dim[0] == 5 and dim[2] == 7
+        assert len(dim) == 3
+
+    def test_of_accepts_int(self):
+        assert Dim3.of(4) == Dim3(4, 1, 1)
+
+    def test_of_accepts_sequence(self):
+        assert Dim3.of((2, 3)) == Dim3(2, 3, 1)
+
+    def test_of_passes_through_dim3(self):
+        dim = Dim3(1, 2, 3)
+        assert Dim3.of(dim) is dim
+
+    def test_of_rejects_too_many_components(self):
+        with pytest.raises(ValueError):
+            Dim3.of((1, 2, 3, 4))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Dim3(-1, 2, 3)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Dim3(1.5, 2, 3)
+
+    def test_ceil_div(self):
+        assert Dim3(12, 8, 1).ceil_div(Dim3(4, 4, 1)) == Dim3(3, 2, 1)
+
+    def test_scaled(self):
+        assert Dim3(3, 2, 1).scaled(Dim3(4, 4, 1)) == Dim3(12, 8, 1)
+
+    def test_contains(self):
+        grid = Dim3(3, 2, 1)
+        assert grid.contains(Dim3(2, 1, 0))
+        assert not grid.contains(Dim3(3, 0, 0))
+        assert not grid.contains(Dim3(0, 2, 0))
+
+    def test_hashable_and_ordered(self):
+        tiles = {Dim3(0, 0, 0), Dim3(1, 0, 0), Dim3(0, 0, 0)}
+        assert len(tiles) == 2
+        assert Dim3(0, 1, 0) < Dim3(1, 0, 0)
+
+    def test_str(self):
+        assert str(Dim3(1, 48, 4)) == "[1, 48, 4]"

@@ -1,0 +1,69 @@
+"""Tests for tile coordinate helpers."""
+
+import pytest
+
+from repro.common.dim3 import Dim3
+from repro.common.tiles import TileRange, delinearize, iter_tiles, linearize
+
+
+class TestLinearize:
+    def test_row_major_order(self):
+        grid = Dim3(3, 2, 1)
+        assert linearize(Dim3(0, 0, 0), grid) == 0
+        assert linearize(Dim3(1, 0, 0), grid) == 1
+        assert linearize(Dim3(0, 1, 0), grid) == 3
+        assert linearize(Dim3(2, 1, 0), grid) == 5
+
+    def test_roundtrip(self):
+        grid = Dim3(4, 3, 2)
+        for index in range(grid.volume):
+            assert linearize(delinearize(index, grid), grid) == index
+
+    def test_out_of_bounds_tile(self):
+        with pytest.raises(IndexError):
+            linearize(Dim3(3, 0, 0), Dim3(3, 2, 1))
+
+    def test_out_of_bounds_index(self):
+        with pytest.raises(IndexError):
+            delinearize(6, Dim3(3, 2, 1))
+
+
+class TestIterTiles:
+    def test_count_matches_volume(self):
+        grid = Dim3(3, 4, 2)
+        tiles = list(iter_tiles(grid))
+        assert len(tiles) == grid.volume
+        assert len(set(tiles)) == grid.volume
+
+    def test_first_and_last(self):
+        tiles = list(iter_tiles(Dim3(2, 2, 2)))
+        assert tiles[0] == Dim3(0, 0, 0)
+        assert tiles[-1] == Dim3(1, 1, 1)
+
+
+class TestTileRange:
+    def test_full_range(self):
+        grid = Dim3(3, 2, 1)
+        assert TileRange.full(grid).count == 6
+
+    def test_single(self):
+        single = TileRange.single(Dim3(1, 1, 0))
+        assert single.count == 1
+        assert Dim3(1, 1, 0) in single
+
+    def test_membership(self):
+        r = TileRange(Dim3(1, 0, 0), Dim3(3, 2, 1))
+        assert Dim3(2, 1, 0) in r
+        assert Dim3(0, 0, 0) not in r
+
+    def test_extent(self):
+        r = TileRange(Dim3(1, 0, 0), Dim3(3, 2, 1))
+        assert r.extent == Dim3(2, 2, 1)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            TileRange(Dim3(2, 0, 0), Dim3(1, 1, 1))
+
+    def test_iterates_in_row_major(self):
+        r = TileRange(Dim3(0, 0, 0), Dim3(2, 2, 1))
+        assert r.tiles() == [Dim3(0, 0, 0), Dim3(1, 0, 0), Dim3(0, 1, 0), Dim3(1, 1, 0)]

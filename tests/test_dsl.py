@@ -1,0 +1,209 @@
+"""Tests for the cuSyncGen DSL: expressions, analysis, codegen and emission."""
+
+import pytest
+
+from repro.errors import CodegenError, DslBoundsError, DslError
+from repro.cusync.policies import Conv2DTileSync, RowSync, StridedSync, TileSync
+from repro.cusync.tile_orders import GroupedColumnsOrder, RowMajorOrder
+from repro.dsl import (
+    CuSyncGen,
+    Dep,
+    DependencyProgram,
+    Dim,
+    ForAll,
+    Grid,
+    Range,
+    Tile,
+    analyze_dependence,
+    emit_policy_source,
+    emit_tile_order_source,
+)
+from repro.dsl.cuda_codegen import emit_generated_header
+
+
+@pytest.fixture
+def dims():
+    return Dim("x"), Dim("y")
+
+
+class TestAffineExpressions:
+    def test_identity(self, dims):
+        x, _ = dims
+        expr = Tile(x, x).x_expr(x)
+        assert expr.evaluate(5) == 5
+
+    def test_offset_and_scale(self, dims):
+        x, _ = dims
+        expr = (2 * x + 3)
+        assert expr.evaluate(4) == 11
+
+    def test_floor_division(self, dims):
+        x, _ = dims
+        expr = x // 9
+        assert expr.evaluate(17) == 1
+        assert expr.evaluate(18) == 2
+
+    def test_non_integer_scale_rejected_without_floor(self, dims):
+        x, _ = dims
+        with pytest.raises(DslError):
+            (x * 1).__truediv__("bad")
+
+    def test_dim_arithmetic_sugar(self, dims):
+        x, _ = dims
+        assert (x + 1).evaluate(2) == 3
+        assert (x - 1).evaluate(2) == 1
+        assert (3 * x).evaluate(2) == 6
+
+
+class TestGridAndDep:
+    def test_grid_extents(self, dims):
+        x, y = dims
+        grid = Grid(x, y, 24, 2, name="g1")
+        assert grid.extent_of(x) == 24
+        assert grid.shape.volume == 48
+
+    def test_grid_rejects_empty(self, dims):
+        x, y = dims
+        with pytest.raises(DslError):
+            Grid(x, y, 0, 2)
+
+    def test_dep_requires_producer(self, dims):
+        x, y = dims
+        grid = Grid(x, y, 4, 4)
+        with pytest.raises(DslError):
+            Dep((grid, Tile(x, y)))
+
+    def test_dep_side_must_start_with_grid(self, dims):
+        x, y = dims
+        grid = Grid(x, y, 4, 4)
+        with pytest.raises(DslError):
+            Dep((Tile(x, y),), (grid, Tile(x, y)))
+
+
+class TestAnalysis:
+    def test_mlp_forall_dependence(self, dims):
+        x, y = dims
+        g1 = Grid(x, y, 24, 2, name="g1")
+        g2 = Grid(x, y, 48, 2, name="g2")
+        dep = Dep((g2, Tile(x, y)), (g1, ForAll(Tile(x, y), x, Range(24))))
+        normalized = analyze_dependence(dep)
+        assert normalized.tiles_per_consumer == 24
+        assert normalized.x_access.pattern == "all"
+        assert normalized.y_access.pattern == "identity"
+
+    def test_strided_dependence(self, dims):
+        x, y = dims
+        gp = Grid(x, y, 6, 2, name="gP")
+        g1 = Grid(x, y, 18, 2, name="g1")
+        dep = Dep((gp, Tile(x, y)), (g1, Tile(x, y), Tile(x + 6, y), Tile(x + 12, y)))
+        normalized = analyze_dependence(dep)
+        assert normalized.x_access.pattern == "strided"
+        assert normalized.x_access.stride == 6
+        assert normalized.x_access.count == 3
+
+    def test_scaled_dependence(self, dims):
+        x, y = dims
+        c1 = Grid(x, y, 2, 25, name="c1")
+        c2 = Grid(x, y, 9, 25, name="c2")
+        dep = Dep((c2, Tile(x // 9, y)), (c1, Tile(x // 9, y)))
+        normalized = analyze_dependence(dep)
+        assert normalized.x_access.pattern == "scaled"
+
+    def test_bounds_violation_detected(self, dims):
+        x, y = dims
+        g1 = Grid(x, y, 24, 2, name="g1")
+        g2 = Grid(x, y, 48, 2, name="g2")
+        dep = Dep((g2, Tile(x, y)), (g1, Tile(x + 30, y)))
+        with pytest.raises(DslBoundsError):
+            analyze_dependence(dep)
+
+    def test_bad_producer_index(self, dims):
+        x, y = dims
+        g = Grid(x, y, 4, 4)
+        dep = Dep((g, Tile(x, y)), (g, Tile(x, y)))
+        with pytest.raises(DslError):
+            analyze_dependence(dep, producer_index=1)
+
+
+class TestCodegen:
+    def test_mlp_generates_tile_and_row_sync(self, dims):
+        x, y = dims
+        g1 = Grid(x, y, 24, 2, name="g1")
+        g2 = Grid(x, y, 48, 2, name="g2")
+        dep = Dep((g2, Tile(x, y)), (g1, ForAll(Tile(x, y), x, Range(24))))
+        generated = CuSyncGen().generate(dep)
+        assert set(generated.policy_names) == {"TileSync", "RowSync"}
+        assert isinstance(generated.policy("RowSync"), RowSync)
+        assert isinstance(generated.producer_order, RowMajorOrder)
+
+    def test_attention_generates_strided_sync(self, dims):
+        x, y = dims
+        gp = Grid(x, y, 6, 2, name="gP")
+        g1 = Grid(x, y, 18, 2, name="g1")
+        dep = Dep((gp, Tile(x, y)), (g1, Tile(x, y), Tile(x + 6, y), Tile(x + 12, y)))
+        generated = CuSyncGen().generate(dep)
+        assert "StridedSync" in generated.policy_names
+        strided = generated.policy("StridedSync")
+        assert isinstance(strided, StridedSync) and strided.stride == 6
+        assert isinstance(generated.producer_order, GroupedColumnsOrder)
+        assert generated.producer_order.group == 3
+
+    def test_conv_generates_conv2d_tilesync(self, dims):
+        x, y = dims
+        c1 = Grid(x, y, 2, 25, name="c1")
+        c2 = Grid(x, y, 9, 25, name="c2")
+        dep = Dep((c2, Tile(x, y)), (c1, Tile(x // 9, y)))
+        generated = CuSyncGen().generate(dep)
+        assert "Conv2DTileSync" in generated.policy_names
+        assert isinstance(generated.policy("Conv2DTileSync"), Conv2DTileSync)
+
+    def test_unknown_policy_lookup(self, dims):
+        x, y = dims
+        g = Grid(x, y, 4, 4)
+        dep = Dep((g, Tile(x, y)), (g, Tile(x, y)))
+        generated = CuSyncGen().generate(dep)
+        with pytest.raises(CodegenError):
+            generated.policy("RowSync")
+
+    def test_program_collects_policies(self, dims):
+        x, y = dims
+        g1 = Grid(x, y, 24, 2, name="g1")
+        g2 = Grid(x, y, 48, 2, name="g2")
+        program = DependencyProgram(name="mlp")
+        program.add_dep(Dep((g2, Tile(x, y)), (g1, ForAll(Tile(x, y), x, Range(24)))))
+        menu = program.policy_menu()
+        assert menu == {"TileSync": 1, "RowSync": 1}
+        assert len(program.analyze()) == 1
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(DslError):
+            DependencyProgram(name="empty").analyze()
+
+
+class TestCudaEmission:
+    def test_rowsync_source_mentions_row_semaphore(self):
+        source = emit_policy_source(RowSync())
+        assert "tile.z * grid.y + tile.y" in source
+        assert "grid.x" in source
+
+    def test_tilesync_source_value_one(self):
+        source = emit_policy_source(TileSync())
+        assert "return 1;" in source
+
+    def test_strided_source_includes_stride(self):
+        source = emit_policy_source(StridedSync(stride=6))
+        assert "% 6" in source
+
+    def test_order_sources(self):
+        assert "grid.x + tile.x" in emit_tile_order_source(RowMajorOrder())
+        assert "GroupedColumns" not in emit_tile_order_source(GroupedColumnsOrder(group=3), "ProdOrder")
+
+    def test_header_contains_all_policies(self, dims):
+        x, y = dims
+        g1 = Grid(x, y, 24, 2, name="g1")
+        g2 = Grid(x, y, 48, 2, name="g2")
+        dep = Dep((g2, Tile(x, y)), (g1, ForAll(Tile(x, y), x, Range(24))))
+        generated = CuSyncGen().generate(dep)
+        header = emit_generated_header(generated)
+        assert "class TileSync" in header and "class RowSync" in header
+        assert header.startswith("#ifndef")

@@ -1,0 +1,71 @@
+"""Tests for the architecture presets and occupancy calculation."""
+
+import pytest
+
+from repro.gpu.arch import AMPERE_A100, TESLA_V100, GpuArchitecture
+from repro.gpu.occupancy import (
+    COPY_KERNEL_RESOURCES,
+    GEMM_KERNEL_RESOURCES,
+    KernelResources,
+    OccupancyCalculator,
+)
+
+
+class TestArchitecture:
+    def test_v100_matches_paper(self):
+        # The paper's evaluation GPU: 80 SMs, ~6 us kernel launch latency,
+        # max occupancy for light kernels of 16 (Section V-D).
+        assert TESLA_V100.num_sms == 80
+        assert TESLA_V100.kernel_launch_latency_us == pytest.approx(6.0)
+
+    def test_blocks_per_wave(self):
+        assert TESLA_V100.blocks_per_wave(1) == 80
+        assert TESLA_V100.blocks_per_wave(2) == 160
+
+    def test_with_overrides_preserves_other_fields(self):
+        small = TESLA_V100.with_overrides(num_sms=4)
+        assert small.num_sms == 4
+        assert small.fp16_flops_per_sm_us == TESLA_V100.fp16_flops_per_sm_us
+
+    def test_a100_has_more_sms(self):
+        assert AMPERE_A100.num_sms > TESLA_V100.num_sms
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            TESLA_V100.with_overrides(compute_efficiency=1.5)
+
+    def test_rejects_non_positive_sms(self):
+        with pytest.raises(ValueError):
+            TESLA_V100.with_overrides(num_sms=0)
+
+
+class TestOccupancy:
+    def test_gemm_kernel_occupancy_is_one(self):
+        calc = OccupancyCalculator(TESLA_V100)
+        assert calc.blocks_per_sm(GEMM_KERNEL_RESOURCES) == 1
+
+    def test_copy_kernel_reaches_paper_occupancy(self):
+        # Section V-D: 80 SMs x max occupancy 16 = 1280 blocks per wave.
+        calc = OccupancyCalculator(TESLA_V100)
+        assert calc.blocks_per_sm(COPY_KERNEL_RESOURCES) == 16
+        assert calc.blocks_per_wave(COPY_KERNEL_RESOURCES) == 1280
+
+    def test_thread_limited(self):
+        calc = OccupancyCalculator(TESLA_V100)
+        resources = KernelResources(threads_per_block=1024, registers_per_thread=0, shared_memory_per_block=0)
+        assert calc.blocks_per_sm(resources) == 2
+
+    def test_shared_memory_limited(self):
+        calc = OccupancyCalculator(TESLA_V100)
+        resources = KernelResources(threads_per_block=64, registers_per_thread=16, shared_memory_per_block=48 * 1024)
+        assert calc.blocks_per_sm(resources) == 2
+
+    def test_never_below_one(self):
+        calc = OccupancyCalculator(TESLA_V100)
+        resources = KernelResources(threads_per_block=1024, registers_per_thread=255, shared_memory_per_block=200 * 1024)
+        assert calc.blocks_per_sm(resources) == 1
+
+    def test_waves_fractional(self):
+        calc = OccupancyCalculator(TESLA_V100)
+        resources = KernelResources(threads_per_block=256, registers_per_thread=255, shared_memory_per_block=96 * 1024)
+        assert calc.waves(96, resources) == pytest.approx(1.2)

@@ -1,0 +1,191 @@
+"""Tests for the model workloads: configs, MLPs, Attention and Conv chains."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelConfigError
+from repro.gpu.arch import TESLA_V100
+from repro.models import (
+    Attention,
+    ConvChain,
+    GPT3_145B,
+    GptMlp,
+    LLAMA_65B,
+    LlamaMlp,
+    RESNET38_LAYERS,
+    VGG19_LAYERS,
+    TransformerConfig,
+    resnet38_config,
+    vgg19_config,
+)
+from repro.models.mlp import gpt3_mlp_gemm_configs
+from repro.models.workload import make_policy
+from repro.cusync.policies import RowSync, StridedSync, TileSync
+
+TINY = TransformerConfig(name="tiny", hidden=256, layers=2, tensor_parallel=8)
+TINY_SWIGLU = TransformerConfig(name="tiny-swiglu", hidden=192, layers=2, tensor_parallel=8, swiglu=True)
+
+
+class TestConfigs:
+    def test_gpt3_shapes_match_paper(self):
+        assert GPT3_145B.hidden == 12288
+        assert GPT3_145B.mlp_intermediate_per_gpu == 6144
+        assert GPT3_145B.attention_qkv_per_gpu == 4608
+        assert GPT3_145B.attention_head_dim_per_gpu == 1536
+
+    def test_llama_shapes_match_paper(self):
+        assert LLAMA_65B.hidden == 8192
+        assert LLAMA_65B.swiglu
+        assert LLAMA_65B.mlp_intermediate_per_gpu == 8192 // 3
+
+    def test_invalid_parallelism_rejected(self):
+        with pytest.raises(ModelConfigError):
+            TransformerConfig(name="bad", hidden=100, layers=1, tensor_parallel=8)
+
+    def test_table2_layer_counts(self):
+        assert sum(spec.layers for spec in RESNET38_LAYERS) == 16
+        assert all(spec.convs_per_layer == 2 for spec in RESNET38_LAYERS)
+        assert [spec.convs_per_layer for spec in VGG19_LAYERS] == [2, 2, 4, 4]
+        assert resnet38_config().total_conv_layers() == 32
+        assert vgg19_config().name == "VGG-19"
+
+    def test_table_iv_grid_presets(self):
+        # Batch 512 uses 256x256 tiles with split-K 2 / 1 (Table IV).
+        first, second = gpt3_mlp_gemm_configs(512)
+        assert (first.tile_n, first.split_k) == (256, 2)
+        assert (second.tile_n, second.split_k) == (256, 1)
+        small_first, _ = gpt3_mlp_gemm_configs(64)
+        assert small_first.split_k == 4
+
+
+class TestPolicySelection:
+    def test_named_policies(self):
+        workload = GptMlp(config=TINY, batch_seq=64)
+        spec = workload.build()[0]
+        assert isinstance(make_policy("TileSync", spec), TileSync)
+        assert isinstance(make_policy("RowSync", spec), RowSync)
+
+    def test_strided_policy_uses_group_hint(self):
+        attention = Attention(config=TINY, batch=1, seq=64)
+        qkv_spec = attention.build()[0]
+        policy = make_policy("StridedTileSync", qkv_spec)
+        assert isinstance(policy, (StridedSync, TileSync))
+
+    def test_unknown_policy_rejected(self):
+        workload = GptMlp(config=TINY, batch_seq=64)
+        with pytest.raises(ModelConfigError):
+            make_policy("MagicSync", workload.build()[0])
+
+
+class TestGptMlp:
+    def test_build_structure(self):
+        specs = GptMlp(config=TINY, batch_seq=96).build()
+        assert len(specs) == 2
+        assert specs[1].dependencies[0].tensor == "XW1"
+
+    def test_grid_matches_table_i_at_batch_256(self):
+        specs = GptMlp(batch_seq=256).build()
+        producer = specs[0].kernel
+        assert producer.grid.volume == 192
+        assert producer.occupancy() == 2
+
+    def test_functional_correctness_tilesync(self):
+        workload = GptMlp(config=TINY, batch_seq=96, functional=True)
+        result = workload.run_cusync(policy="TileSync")
+        np.testing.assert_allclose(
+            result.tensor("XW12"), workload.reference_output(), rtol=1e-3, atol=1e-3
+        )
+
+    def test_functional_correctness_streamsync(self):
+        workload = GptMlp(config=TINY, batch_seq=96, functional=True)
+        result = workload.run_streamsync()
+        np.testing.assert_allclose(
+            result.tensor("XW12"), workload.reference_output(), rtol=1e-3, atol=1e-3
+        )
+
+    def test_cusync_beats_streamsync_at_512(self):
+        workload = GptMlp(batch_seq=512)
+        improvement = workload.improvement_over_streamsync(policy="RowSync")
+        assert improvement > 0.10
+
+    def test_best_policy_returns_all_candidates(self):
+        results = GptMlp(config=TINY, batch_seq=96).best_policy()
+        assert set(results) == {"StreamSync", "TileSync", "RowSync"}
+
+
+class TestLlamaMlp:
+    def test_combined_gemm_width(self):
+        specs = LlamaMlp(config=TINY_SWIGLU, batch_seq=64).build()
+        first = specs[0].kernel
+        assert first.problem.n == 2 * (TINY_SWIGLU.hidden // 3)
+
+    def test_functional_correctness(self):
+        workload = LlamaMlp(config=TINY_SWIGLU, batch_seq=64, functional=True)
+        result = workload.run_cusync(policy="RowSync")
+        np.testing.assert_allclose(
+            result.tensor("XW12"), workload.reference_output(), rtol=1e-3, atol=1e-3
+        )
+
+    def test_timing_improvement_at_1024(self):
+        workload = LlamaMlp(batch_seq=1024)
+        assert workload.improvement_over_streamsync(policy="TileSync") > 0.05
+
+
+class TestAttention:
+    def test_build_has_five_kernels_and_strided_hint(self):
+        specs = Attention(config=TINY, batch=1, seq=64).build()
+        assert len(specs) == 5
+        assert specs[0].strided_groups == 3
+        assert {d.tensor for d in specs[1].dependencies} == {"XQ", "Kall"}
+
+    def test_rows_and_keys(self):
+        attention = Attention(config=TINY, batch=2, seq=4, cached=16)
+        assert attention.rows == 8
+        assert attention.keys == 20
+
+    @pytest.mark.parametrize("policy", ["TileSync", "RowSync", "StridedTileSync"])
+    def test_functional_correctness(self, policy):
+        workload = Attention(config=TINY, batch=1, seq=64, cached=0, functional=True, dropout=0.0)
+        result = workload.run_cusync(policy=policy)
+        np.testing.assert_allclose(
+            result.tensor("XW12"), workload.reference_output(), rtol=1e-2, atol=1e-2
+        )
+
+    def test_streamsync_functional(self):
+        workload = Attention(config=TINY, batch=1, seq=64, cached=0, functional=True, dropout=0.0)
+        result = workload.run_streamsync()
+        np.testing.assert_allclose(
+            result.tensor("XW12"), workload.reference_output(), rtol=1e-2, atol=1e-2
+        )
+
+    def test_kv_cache_changes_key_count(self):
+        specs = Attention(config=TINY, batch=1, seq=1, cached=32).build()
+        score_kernel = specs[1].kernel
+        assert score_kernel.problem.n == 33
+
+
+class TestConvChain:
+    def test_build_chain_dependencies(self):
+        chain = ConvChain(RESNET38_LAYERS[1], batch=1)
+        specs = chain.build()
+        assert len(specs) == 2
+        assert specs[1].dependencies[0].tensor == "act1"
+
+    def test_vgg_four_conv_chain(self):
+        spec = VGG19_LAYERS[2]
+        chain = ConvChain(spec, batch=1)
+        assert len(chain.build()) == 4
+
+    def test_functional_correctness(self):
+        from repro.models.config import ConvLayerSpec
+
+        spec = ConvLayerSpec(image=8, channels=16, kernel=3, convs_per_layer=2, layers=1)
+        chain = ConvChain(spec, batch=1, functional=True)
+        result = chain.run_cusync(policy="Conv2DTileSync")
+        np.testing.assert_allclose(
+            result.tensor("act2"), chain.reference_output(), rtol=1e-2, atol=1e-2
+        )
+
+    def test_cusync_improves_conv_layer(self):
+        chain = ConvChain(RESNET38_LAYERS[1], batch=4)
+        assert chain.improvement_over_streamsync(policy="Conv2DTileSync") > 0.05
