@@ -1,0 +1,129 @@
+"""Simulator throughput benchmark: blocks simulated per second.
+
+Unlike the other benchmarks (which regenerate tables/figures of the paper),
+this one measures the *simulator itself* so that simulator-performance
+regressions are caught and future optimisation PRs have a trajectory to
+defend.  Two numbers are recorded:
+
+* ``blocks_per_sec`` — thread blocks simulated per wall-clock second on a
+  fixed synthetic two-kernel pipeline (producer posts one semaphore per
+  block, consumer blocks busy-wait on their producer block), which
+  exercises every hot path: dispatch, SM allocation, the waiter registry
+  and semaphore polling.
+* ``table4_mlp_s`` — wall time of one full :func:`table4_mlp` regeneration,
+  the end-to-end workload the hot-path overhaul was profiled on.
+
+Results are written to ``BENCH_sim_throughput.json`` in the repository root
+(override with the ``BENCH_SIM_THROUGHPUT_OUT`` environment variable).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+
+or through pytest (``pytest benchmarks/bench_sim_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List
+
+from repro.bench.experiments import table4_mlp
+from repro.common.dim3 import Dim3
+from repro.gpu.kernel import KernelLaunch, SemPost, SemWait, simple_kernel
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.stream import Stream
+
+#: Fixed synthetic grid: 48 x 80 = 3840 blocks per kernel, two kernels.
+SYNTHETIC_GRID = Dim3(48, 80, 1)
+#: Minimum measurement repetitions (best-of is reported).
+REPEATS = 3
+
+DEFAULT_OUTPUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_sim_throughput.json")
+
+
+def _linear(tile: Dim3) -> int:
+    return tile.y * SYNTHETIC_GRID.x + tile.x
+
+
+def build_synthetic_launches() -> List[KernelLaunch]:
+    """A producer/consumer pair with per-block tile synchronization."""
+    producer = simple_kernel(
+        name="synthetic_producer",
+        grid=SYNTHETIC_GRID,
+        block_duration_us=2.0,
+        occupancy=2,
+        stream=Stream(priority=0, name="producer"),
+        posts_per_block=lambda tile: [SemPost("synthetic_sem", _linear(tile))],
+    )
+    consumer = simple_kernel(
+        name="synthetic_consumer",
+        grid=SYNTHETIC_GRID,
+        block_duration_us=2.0,
+        occupancy=2,
+        stream=Stream(priority=1, name="consumer"),
+        waits_per_block=lambda tile: [SemWait("synthetic_sem", _linear(tile), 1)],
+    )
+    return [producer, consumer]
+
+
+def measure_throughput(repeats: int = REPEATS) -> Dict[str, float]:
+    """Best-of-``repeats`` blocks/sec on the fixed synthetic pipeline."""
+    total_blocks = 2 * SYNTHETIC_GRID.volume
+    best = float("inf")
+    for _ in range(repeats):
+        memory = GlobalMemory()
+        memory.alloc_semaphores("synthetic_sem", SYNTHETIC_GRID.volume)
+        simulator = GpuSimulator(memory=memory)
+        launches = build_synthetic_launches()
+        start = time.perf_counter()
+        result = simulator.run(launches)
+        elapsed = time.perf_counter() - start
+        assert len(result.trace.blocks) == total_blocks
+        best = min(best, elapsed)
+    return {
+        "blocks": float(total_blocks),
+        "elapsed_s": best,
+        "blocks_per_sec": total_blocks / best,
+    }
+
+
+def measure_table4(repeats: int = REPEATS) -> float:
+    """Best-of-``repeats`` wall time of a full table4_mlp regeneration."""
+    table4_mlp(batch_sizes=(64,))  # warm caches/imports outside the timing
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        table4_mlp()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(output_path: str = "") -> Dict[str, float]:
+    record = measure_throughput()
+    record["table4_mlp_s"] = measure_table4()
+    path = output_path or os.environ.get("BENCH_SIM_THROUGHPUT_OUT", DEFAULT_OUTPUT)
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return record
+
+
+def test_sim_throughput(capsys=None):
+    """Smoke check: the simulator sustains a sane block throughput."""
+    record = run_benchmark()
+    print()
+    print(f"simulator throughput: {record['blocks_per_sec']:,.0f} blocks/sec")
+    print(f"table4_mlp regeneration: {record['table4_mlp_s']:.3f} s")
+    # Loose floor (~20x below current hardware-dependent numbers) so CI
+    # flags order-of-magnitude regressions without flaking on slow runners.
+    assert record["blocks_per_sec"] > 10_000
+    assert record["table4_mlp_s"] < 10.0
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    print(json.dumps(result, indent=1, sort_keys=True))

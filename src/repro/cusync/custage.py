@@ -70,6 +70,14 @@ class CuStage(SyncInterface):
         self.dependencies: Dict[str, Dependency] = {}
         #: Stages that consume this stage's output.
         self.consumers: List["CuStage"] = []
+        #: Memoized consumer-read plans keyed by (tensor, rows, cols, batch).
+        #: Consumer blocks in the same tile row/column ask for identical
+        #: ranges, so the per-range planning loop runs once per distinct
+        #: range instead of once per dispatched block.  Cached plans are
+        #: shared (ReadPlanStep is frozen): callers must not mutate them.
+        self._consumer_read_cache: Dict[
+            Tuple[str, IndexRange, IndexRange, int], List[ReadPlanStep]
+        ] = {}
         # Validate the policy against the logical grid up front (the bounds
         # check cuSyncGen performs in step 2 of its workflow).
         self.policy.validate(self.logical_grid)
@@ -147,7 +155,23 @@ class CuStage(SyncInterface):
         direction); consecutive chunks whose semaphore requirements are
         identical are merged, which collapses RowSync dependences into a
         single wait covering the whole range.
+
+        Results are memoized per (tensor, rows, cols, batch): the policy,
+        geometry and order of a stage are fixed once the pipeline is built,
+        so identical ranges always plan identically.  The returned list is
+        shared between callers and must be treated as immutable.
         """
+        key = (tensor, rows, cols, batch)
+        cached = self._consumer_read_cache.get(key)
+        if cached is not None:
+            return cached
+        steps = self._plan_consumer_reads_uncached(tensor, rows, cols, batch)
+        self._consumer_read_cache[key] = steps
+        return steps
+
+    def _plan_consumer_reads_uncached(
+        self, tensor: str, rows: IndexRange, cols: IndexRange, batch: int
+    ) -> List[ReadPlanStep]:
         geometry = self.geometry
         grid = self.logical_grid
         if not (0 <= batch < grid.z):

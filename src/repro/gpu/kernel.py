@@ -29,7 +29,7 @@ from repro.gpu.memory import GlobalMemory
 from repro.gpu.stream import Stream, DEFAULT_STREAM
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SemWait:
     """Block until semaphore ``index`` of array ``array`` reaches ``required``.
 
@@ -47,7 +47,7 @@ class SemWait:
         return memory.semaphore_value(self.array, self.index) >= self.required
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SemPost:
     """Atomically add ``increment`` to semaphore ``index`` of ``array``."""
 
@@ -59,7 +59,7 @@ class SemPost:
         return memory.atomic_add(self.array, self.index, self.increment)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TensorAccess:
     """A read or write of one tile of a named tensor (for race detection)."""
 
@@ -67,9 +67,13 @@ class TensorAccess:
     tile_key: Hashable
 
 
-@dataclass
+@dataclass(slots=True)
 class Segment:
-    """One phase of a thread block's execution."""
+    """One phase of a thread block's execution.
+
+    Segments may be shared between the cached block programs of several
+    thread blocks, so the simulator treats them as immutable.
+    """
 
     #: Human-readable label, e.g. ``"k-chunk 3"`` — only used in traces.
     label: str = ""
@@ -95,7 +99,7 @@ class Segment:
         check_non_negative("duration_us", self.duration_us)
 
 
-@dataclass
+@dataclass(slots=True)
 class ThreadBlockProgram:
     """The full behaviour of one thread block: an ordered list of segments."""
 

@@ -22,6 +22,16 @@ import numpy as np
 from repro.common.validation import check_non_negative, check_positive
 from repro.errors import DataRaceError, SimulationError
 
+#: Shared immutable empty set used as the miss default in tile lookups, so
+#: the hot ``tile_written`` / ``written_tiles`` paths never allocate.
+_EMPTY_TILE_SET: frozenset = frozenset()
+
+
+def _raise_semaphore_index_error(name: str, index: int, size: int) -> None:
+    raise IndexError(
+        f"semaphore index {index} out of range for array '{name}' of size {size}"
+    )
+
 
 @dataclass
 class SemaphoreArray:
@@ -48,14 +58,16 @@ class SemaphoreArray:
         return self.values[index]
 
     def reset(self) -> None:
-        """Reset all semaphores to zero (reused between kernel invocations)."""
-        self.values = [0] * self.size
+        """Reset all semaphores to zero (reused between kernel invocations).
+
+        Resets in place so that direct references to ``values`` (the
+        :class:`GlobalMemory` fast-read index) stay valid.
+        """
+        self.values[:] = [0] * self.size
 
     def _check_index(self, index: int) -> None:
         if not (0 <= index < self.size):
-            raise IndexError(
-                f"semaphore index {index} out of range for array '{self.name}' of size {self.size}"
-            )
+            _raise_semaphore_index_error(self.name, index, self.size)
 
 
 class GlobalMemory:
@@ -77,6 +89,11 @@ class GlobalMemory:
 
     def __init__(self) -> None:
         self._semaphores: Dict[str, SemaphoreArray] = {}
+        #: Direct name → values-list index for the hot poll/post paths.  The
+        #: lists are the same objects held by the :class:`SemaphoreArray`
+        #: instances (which mutate them only in place), so a single dict
+        #: lookup replaces the array-object indirection on every read.
+        self._semaphore_values: Dict[str, List[int]] = {}
         self._tensors: Dict[str, np.ndarray] = {}
         self._written_tiles: Dict[str, Set[Hashable]] = {}
         #: Total number of atomic operations performed, for overhead studies.
@@ -92,6 +109,7 @@ class GlobalMemory:
         check_non_negative("initial", initial)
         array = SemaphoreArray(name=name, size=size, values=[initial] * size)
         self._semaphores[name] = array
+        self._semaphore_values[name] = array.values
         return array
 
     def semaphores(self, name: str) -> SemaphoreArray:
@@ -107,12 +125,25 @@ class GlobalMemory:
     def semaphore_value(self, name: str, index: int) -> int:
         """Read one semaphore, counting the poll for overhead statistics."""
         self.semaphore_reads += 1
-        return self.semaphores(name).read(index)
+        try:
+            values = self._semaphore_values[name]
+        except KeyError:
+            raise SimulationError(f"semaphore array '{name}' was never allocated") from None
+        if 0 <= index < len(values):
+            return values[index]
+        _raise_semaphore_index_error(name, index, len(values))
 
     def atomic_add(self, name: str, index: int, increment: int = 1) -> int:
         """Atomic add on one semaphore, counting the atomic operation."""
         self.atomic_operations += 1
-        return self.semaphores(name).atomic_add(index, increment)
+        try:
+            values = self._semaphore_values[name]
+        except KeyError:
+            raise SimulationError(f"semaphore array '{name}' was never allocated") from None
+        if 0 <= index < len(values):
+            values[index] += increment
+            return values[index]
+        _raise_semaphore_index_error(name, index, len(values))
 
     # ------------------------------------------------------------------
     # Tensors (functional mode)
@@ -144,11 +175,11 @@ class GlobalMemory:
 
     def tile_written(self, tensor_name: str, tile_key: Hashable) -> bool:
         """Whether ``tile_key`` of a tensor has been written."""
-        return tile_key in self._written_tiles.get(tensor_name, set())
+        return tile_key in self._written_tiles.get(tensor_name, _EMPTY_TILE_SET)
 
     def written_tiles(self, tensor_name: str) -> Set[Hashable]:
         """All tile keys of a tensor that have been written so far."""
-        return set(self._written_tiles.get(tensor_name, set()))
+        return set(self._written_tiles.get(tensor_name, _EMPTY_TILE_SET))
 
     def check_tile_read(
         self, tensor_name: str, tile_key: Hashable, reader: str, tracked_tensors: Optional[Set[str]] = None

@@ -25,6 +25,20 @@ objects with the semantics the paper's mechanisms depend on:
   mode the paper's wait-kernel prevents.
 
 The simulator is deterministic: identical inputs produce identical traces.
+
+Hot-path structure (the invariants the fast paths preserve exactly):
+
+* **Integer SM capacity.**  Free SM capacity is tracked in integer units of
+  ``1/lcm(occupancies)`` of an SM, so capacity arithmetic is exact and the
+  "emptiest SM first, lowest id on ties" placement rule reduces to an exact
+  max-heap pop instead of an O(num_sms) epsilon-compare scan.
+* **Incremental dispatch.**  Eligible launches with pending blocks live in
+  a list kept sorted by (stream priority, launch index); a dispatch pass
+  runs only when an SM slot was freed or a launch became eligible since the
+  previous pass — any other event cannot change the placement outcome.
+* **Event coalescing.**  Events within ``_EPSILON`` of the current time are
+  drained before dispatching, so a whole wave frees its slots before the
+  next wave is placed.
 """
 
 from __future__ import annotations
@@ -32,7 +46,9 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+from bisect import insort
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.dim3 import Dim3
@@ -52,7 +68,7 @@ from repro.gpu.trace import (
 _EPSILON = 1e-9
 
 
-@dataclass
+@dataclass(slots=True)
 class _LaunchState:
     """Mutable bookkeeping for one kernel launch during simulation."""
 
@@ -63,6 +79,10 @@ class _LaunchState:
     dispatch_counter: int = 0
     completed_blocks: int = 0
     started: bool = False
+    #: Dispatch ordering key: (stream priority, launch index).
+    sort_key: Tuple[int, int] = (0, 0)
+    #: SM capacity one block consumes, in integer capacity units.
+    need_units: int = 0
 
     @property
     def pending_blocks(self) -> int:
@@ -73,7 +93,7 @@ class _LaunchState:
         return self.completed_blocks >= self.launch.num_blocks
 
 
-@dataclass
+@dataclass(slots=True)
 class _BlockState:
     """Mutable bookkeeping for one resident thread block."""
 
@@ -91,10 +111,6 @@ class _BlockState:
     waiting_since_us: Optional[float] = None
     #: Semaphore keys this block is currently registered on.
     registered_keys: Set[Tuple[str, int]] = field(default_factory=set)
-
-    @property
-    def current_segment(self) -> Segment:
-        return self.program.segments[self.segment_index]
 
     @property
     def name(self) -> str:
@@ -165,6 +181,7 @@ class GpuSimulator:
         if not launches:
             raise SimulationError("no kernels to simulate")
 
+        memory = self.memory
         states = self._prepare_launch_states(launches)
         trace = self._prepare_trace(states)
 
@@ -186,14 +203,66 @@ class GpuSimulator:
             head = queue[0]
             push(head.issue_time_us, "eligible", head)
 
-        # SM capacity tracking: free fraction per SM.
-        sm_free: List[float] = [1.0] * self.arch.num_sms
+        # SM capacity tracking in exact integer units: one SM holds
+        # ``capacity_unit`` units, a block of occupancy k consumes
+        # ``capacity_unit // k``.  Using the lcm of all occupancies keeps the
+        # arithmetic exact, which is what lets the emptiest-SM-first rule be
+        # answered by a heap instead of an epsilon-tolerant linear scan while
+        # producing bit-identical placements.
+        capacity_unit = math.lcm(*{state.launch.occupancy for state in states})
+        for state in states:
+            state.need_units = capacity_unit // state.launch.occupancy
+        sm_free: List[int] = [capacity_unit] * self.arch.num_sms
+        # Lazy max-heap over (-free, sm_id).  Entries are invalidated by
+        # comparing against ``sm_free`` on pop; every capacity change pushes
+        # a fresh entry.  Ties on free capacity resolve to the lowest sm_id,
+        # exactly like the sequential scan this replaces.
+        sm_heap: List[Tuple[int, int]] = [(-capacity_unit, sm_id) for sm_id in range(self.arch.num_sms)]
 
-        # Blocks waiting on semaphores: (array, index) -> blocks.
-        waiters: Dict[Tuple[str, int], List[_BlockState]] = {}
+        def take_sm(need: int) -> Optional[int]:
+            """Claim ``need`` units on the emptiest SM, or None if none fits."""
+            while sm_heap:
+                neg_free, sm_id = sm_heap[0]
+                free = -neg_free
+                if sm_free[sm_id] != free:
+                    heapq.heappop(sm_heap)  # stale entry
+                    continue
+                if free < need:
+                    # The emptiest SM cannot fit the block; nothing can.
+                    return None
+                heapq.heappop(sm_heap)
+                remaining = free - need
+                sm_free[sm_id] = remaining
+                heapq.heappush(sm_heap, (-remaining, sm_id))
+                return sm_id
+            return None
 
-        resident_blocks: Set[int] = set()  # ids of _BlockState objects resident
-        block_objects: Dict[int, _BlockState] = {}
+        def release_sm(sm_id: int, units: int) -> None:
+            freed = min(capacity_unit, sm_free[sm_id] + units)
+            sm_free[sm_id] = freed
+            heapq.heappush(sm_heap, (-freed, sm_id))
+
+        # Blocks waiting on semaphores: (array, index) -> insertion-ordered
+        # registry keyed by id(block).  Registration deduplicates at insert
+        # time, and de-registration from other keys is an O(1) pop.
+        waiters: Dict[Tuple[str, int], Dict[int, _BlockState]] = {}
+
+        resident_blocks: Dict[int, _BlockState] = {}
+
+        # Eligible launches with pending blocks, sorted by (priority, launch
+        # index).  ``dispatch_needed`` records whether anything changed since
+        # the previous dispatch pass that could make a new placement possible
+        # (an SM slot freed or a launch became eligible); every other event
+        # leaves the previous pass's "nothing fits" conclusion intact.
+        eligible_order: List[_LaunchState] = []
+        dispatch_needed = False
+
+        # Synchronization overheads are pure functions of the architecture;
+        # hoist them out of the per-segment scheduling path.
+        wait_overhead_us = self.cost_model.wait_overhead_us()
+        satisfied_wait_overhead_us = self.cost_model.satisfied_wait_overhead_us()
+        post_overhead_us = self.cost_model.post_overhead_us()
+        wait_resume_latency_us = self.arch.wait_resume_latency_us
 
         now = 0.0
         processed = 0
@@ -203,9 +272,12 @@ class GpuSimulator:
         # --------------------------------------------------------------
         # Inner helpers (closures over the run-local state)
         # --------------------------------------------------------------
-        def mark_eligible(state: _LaunchState, time: float) -> None:
+        def mark_eligible(state: _LaunchState) -> None:
+            nonlocal dispatch_needed
             if not state.eligible:
                 state.eligible = True
+                insort(eligible_order, state, key=attrgetter("sort_key"))
+                dispatch_needed = True
 
         def stream_advance(stream_id: int, time: float) -> None:
             """Move the stream head forward past completed launches."""
@@ -224,29 +296,34 @@ class GpuSimulator:
 
         def start_segment(block: _BlockState, time: float) -> None:
             """Begin the block's current segment, waiting if necessary."""
-            segment = block.current_segment
-            unsatisfied = [w for w in segment.waits if not w.satisfied(self.memory)]
-            if unsatisfied:
-                block.waiting_since_us = time
-                for wait in unsatisfied:
-                    key = (wait.array, wait.index)
-                    if key not in block.registered_keys:
-                        waiters.setdefault(key, []).append(block)
-                        block.registered_keys.add(key)
-                return
+            segment = block.program.segments[block.segment_index]
+            if segment.waits:
+                unsatisfied = [w for w in segment.waits if not w.satisfied(memory)]
+                if unsatisfied:
+                    block.waiting_since_us = time
+                    registered = block.registered_keys
+                    block_id = id(block)
+                    for wait in unsatisfied:
+                        key = (wait.array, wait.index)
+                        if key not in registered:
+                            waiters.setdefault(key, {})[block_id] = block
+                            registered.add(key)
+                    return
             schedule_segment_completion(block, time, resumed=False)
 
         def schedule_segment_completion(
             block: _BlockState, time: float, resumed: bool, waited_us: float = 0.0
         ) -> None:
-            segment = block.current_segment
+            segment = block.program.segments[block.segment_index]
             if resumed:
-                overhead = self.cost_model.wait_overhead_us() * len(segment.waits)
-                overhead += self.arch.wait_resume_latency_us
+                overhead = wait_overhead_us * len(segment.waits)
+                overhead += wait_resume_latency_us
+            elif segment.waits:
+                overhead = satisfied_wait_overhead_us * len(segment.waits)
             else:
-                overhead = self.cost_model.satisfied_wait_overhead_us() * len(segment.waits)
+                overhead = 0.0
             if segment.posts:
-                overhead += self.cost_model.post_overhead_us() * len(segment.posts)
+                overhead += post_overhead_us * len(segment.posts)
             duration = segment.duration_us * block.duration_factor + overhead
             if waited_us > 0.0 and segment.overlappable_us > 0.0:
                 # Work the block performed while busy-waiting (e.g. loading
@@ -256,65 +333,52 @@ class GpuSimulator:
 
             if self.functional:
                 for access in segment.reads:
-                    self.memory.check_tile_read(
+                    memory.check_tile_read(
                         access.tensor, access.tile_key, reader=block.name, tracked_tensors=self.tracked_tensors
                     )
             push(time + duration, "segment_done", block)
 
         def wake_waiters(key: Tuple[str, int], time: float) -> None:
-            blocked = waiters.pop(key, [])
-            still_blocked: List[_BlockState] = []
-            seen: Set[int] = set()
-            for block in blocked:
-                if id(block) in seen:
-                    continue
-                seen.add(id(block))
+            blocked = waiters.pop(key, None)
+            if not blocked:
+                return
+            still_blocked: Dict[int, _BlockState] = {}
+            for block_id, block in blocked.items():
                 if block.waiting_since_us is None:
                     # Already resumed via another semaphore this instant.
                     continue
-                segment = block.current_segment
-                if all(w.satisfied(self.memory) for w in segment.waits):
+                segment = block.program.segments[block.segment_index]
+                if all(w.satisfied(memory) for w in segment.waits):
                     # De-register from any other keys it was parked on.
-                    for other in list(block.registered_keys):
-                        if other != key and other in waiters:
-                            waiters[other] = [b for b in waiters[other] if b is not block]
+                    for other in block.registered_keys:
+                        if other != key:
+                            other_registry = waiters.get(other)
+                            if other_registry is not None:
+                                other_registry.pop(block_id, None)
                     block.registered_keys.clear()
                     waited = time - block.waiting_since_us
                     block.wait_time_us += waited
                     block.waiting_since_us = None
                     schedule_segment_completion(block, time, resumed=True, waited_us=waited)
                 else:
-                    still_blocked.append(block)
+                    still_blocked[block_id] = block
             if still_blocked:
                 waiters[key] = still_blocked
 
         def apply_posts(segment: Segment, time: float) -> None:
             for post in segment.posts:
-                post.apply(self.memory)
+                post.apply(memory)
                 wake_waiters((post.array, post.index), time)
 
-        def complete_segment(block: _BlockState, time: float) -> None:
-            nonlocal completed_blocks_total
-            segment = block.current_segment
-            if self.functional and segment.compute is not None:
-                segment.compute(self.memory)
-            for access in segment.writes:
-                self.memory.mark_tile_written(access.tensor, access.tile_key)
-            apply_posts(segment, time)
-
-            block.segment_index += 1
-            if block.segment_index < len(block.program.segments):
-                start_segment(block, time)
-                return
-
-            # Block finished: free its SM slot, record the trace entry.
+        def finish_block(block: _BlockState, time: float) -> None:
+            """Free the block's SM slot and record its trace entry."""
+            nonlocal completed_blocks_total, dispatch_needed
             state = block.launch_state
-            occupancy = state.launch.occupancy
-            sm_free[block.sm_id] = min(1.0, sm_free[block.sm_id] + 1.0 / occupancy)
-            resident_blocks.discard(id(block))
-            block_objects.pop(id(block), None)
+            release_sm(block.sm_id, state.need_units)
+            resident_blocks.pop(id(block), None)
             state.completed_blocks += 1
             completed_blocks_total += 1
+            dispatch_needed = True
 
             trace.add_block(
                 BlockRecord(
@@ -333,25 +397,41 @@ class GpuSimulator:
             if state.finished:
                 stream_advance(state.launch.stream.stream_id, time)
 
+        def complete_segment(block: _BlockState, time: float) -> None:
+            segment = block.program.segments[block.segment_index]
+            if self.functional and segment.compute is not None:
+                segment.compute(memory)
+            for access in segment.writes:
+                memory.mark_tile_written(access.tensor, access.tile_key)
+            apply_posts(segment, time)
+
+            block.segment_index += 1
+            if block.segment_index < len(block.program.segments):
+                start_segment(block, time)
+            else:
+                finish_block(block, time)
+
         def dispatch(time: float) -> None:
             """Place pending blocks of eligible kernels onto free SM slots."""
-            candidates = [
-                s
-                for s in states
-                if s.eligible and s.pending_blocks > 0
-            ]
-            candidates.sort(key=lambda s: (s.launch.stream.priority, s.launch_index))
-            for state in candidates:
-                need = 1.0 / state.launch.occupancy
-                while state.pending_blocks > 0:
-                    sm_id = _find_sm(sm_free, need)
+            nonlocal dispatch_needed
+            if not dispatch_needed:
+                return
+            dispatch_needed = False
+            if not eligible_order:
+                return
+            exhausted: List[_LaunchState] = []
+            for state in eligible_order:
+                launch = state.launch
+                num_blocks = launch.num_blocks
+                need = state.need_units
+                while state.dispatch_counter < num_blocks:
+                    sm_id = take_sm(need)
                     if sm_id is None:
                         break
-                    sm_free[sm_id] -= need
                     dispatch_index = state.dispatch_counter
-                    state.dispatch_counter += 1
-                    tile = state.launch.tile_for_dispatch(dispatch_index)
-                    program = state.launch.build_program(tile)
+                    state.dispatch_counter = dispatch_index + 1
+                    tile = launch.tile_for_dispatch(dispatch_index)
+                    program = launch.build_program(tile)
                     block = _BlockState(
                         launch_state=state,
                         tile=tile,
@@ -360,23 +440,37 @@ class GpuSimulator:
                         sm_id=sm_id,
                         dispatch_time_us=time,
                         duration_factor=self.cost_model.block_duration_factor(
-                            state.launch.name, dispatch_index
+                            launch.name, dispatch_index
                         ),
                     )
-                    resident_blocks.add(id(block))
-                    block_objects[id(block)] = block
+                    resident_blocks[id(block)] = block
 
                     if not state.started:
                         state.started = True
-                        for post in state.launch.on_first_block_start:
-                            post.apply(self.memory)
+                        for post in launch.on_first_block_start:
+                            post.apply(memory)
                             wake_waiters((post.array, post.index), time)
 
                     if not program.segments:
-                        # A degenerate empty program completes immediately.
-                        push(time, "segment_done_empty", block)
+                        # A degenerate empty program completes immediately
+                        # (without mutating the — possibly shared — program).
+                        push(time, "block_done_empty", block)
                     else:
                         start_segment(block, time)
+                if state.dispatch_counter >= num_blocks:
+                    exhausted.append(state)
+            for state in exhausted:
+                eligible_order.remove(state)
+
+        def handle_event(kind: str, payload: object, time: float) -> None:
+            if kind == "segment_done":
+                complete_segment(payload, time)  # type: ignore[arg-type]
+            elif kind == "eligible":
+                mark_eligible(payload)  # type: ignore[arg-type]
+            elif kind == "block_done_empty":
+                finish_block(payload, time)  # type: ignore[arg-type]
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind!r}")
 
         # --------------------------------------------------------------
         # Main event loop
@@ -393,34 +487,18 @@ class GpuSimulator:
                 raise SimulationError("event queue produced a time in the past")
             now = max(now, time)
 
-            if kind == "eligible":
-                mark_eligible(payload, now)  # type: ignore[arg-type]
-            elif kind == "segment_done":
-                complete_segment(payload, now)  # type: ignore[arg-type]
-            elif kind == "segment_done_empty":
-                block = payload  # type: ignore[assignment]
-                block.program.segments.append(Segment(label="empty"))
-                complete_segment(block, now)
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown event kind {kind!r}")
+            handle_event(kind, payload, now)
 
             # Coalesce events at the same timestamp before dispatching so a
             # whole wave frees its slots before the next wave is placed.
             while events and abs(events[0][0] - now) <= _EPSILON:
                 _, _, kind, payload = heapq.heappop(events)
-                if kind == "eligible":
-                    mark_eligible(payload, now)  # type: ignore[arg-type]
-                elif kind == "segment_done":
-                    complete_segment(payload, now)  # type: ignore[arg-type]
-                elif kind == "segment_done_empty":
-                    block = payload  # type: ignore[assignment]
-                    block.program.segments.append(Segment(label="empty"))
-                    complete_segment(block, now)
+                handle_event(kind, payload, now)
 
             dispatch(now)
 
             if not events and completed_blocks_total < total_blocks:
-                stuck = [block_objects[i].name for i in resident_blocks]
+                stuck = [block.name for block in resident_blocks.values()]
                 raise DeadlockError(
                     "simulated GPU deadlocked: "
                     f"{total_blocks - completed_blocks_total} blocks cannot make progress "
@@ -452,7 +530,14 @@ class GpuSimulator:
                 )
             names_seen.add(launch.name)
             host_time += launch.issue_delay_us + self.cost_model.kernel_launch_us()
-            states.append(_LaunchState(launch=launch, launch_index=index, issue_time_us=host_time))
+            states.append(
+                _LaunchState(
+                    launch=launch,
+                    launch_index=index,
+                    issue_time_us=host_time,
+                    sort_key=(launch.stream.priority, index),
+                )
+            )
         return states
 
     def _prepare_trace(self, states: Sequence[_LaunchState]) -> ExecutionTrace:
@@ -470,19 +555,3 @@ class GpuSimulator:
                 utilization=analytic_utilization(launch.num_blocks, launch.occupancy, self.arch),
             )
         return trace
-
-
-def _find_sm(sm_free: List[float], need: float) -> Optional[int]:
-    """Pick the SM with the most free capacity that can hold ``need``.
-
-    Preferring the emptiest SM spreads blocks across SMs the way the
-    hardware scheduler does, which keeps per-SM queueing effects out of the
-    wave timing.
-    """
-    best_id: Optional[int] = None
-    best_free = 0.0
-    for sm_id, free in enumerate(sm_free):
-        if free + _EPSILON >= need and free > best_free + _EPSILON:
-            best_id = sm_id
-            best_free = free
-    return best_id

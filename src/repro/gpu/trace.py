@@ -40,7 +40,7 @@ def analytic_utilization(num_blocks: int, occupancy: int, arch: GpuArchitecture)
     return num_blocks / (waves * per_wave)
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockRecord:
     """Timing record for one simulated thread block."""
 

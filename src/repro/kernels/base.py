@@ -179,6 +179,45 @@ class TiledKernel(ABC):
         self.functional = functional
 
     # ------------------------------------------------------------------
+    # Plan-cache plumbing
+    #
+    # Executors re-point ``sync`` / ``cost_model`` / ``functional`` when a
+    # kernel is attached to a pipeline (StreamSync strips synchronization,
+    # cuSync installs a stage).  Kernels that memoize per-tile plans or
+    # durations derived from those attributes hook
+    # :meth:`_invalidate_plan_caches` to drop stale entries.
+    # ------------------------------------------------------------------
+    @property
+    def sync(self) -> SyncInterface:
+        return self._sync
+
+    @sync.setter
+    def sync(self, value: SyncInterface) -> None:
+        self._sync = value
+        self._invalidate_plan_caches()
+
+    @property
+    def cost_model(self) -> CostModel:
+        return self._cost_model
+
+    @cost_model.setter
+    def cost_model(self, value: CostModel) -> None:
+        self._cost_model = value
+        self._invalidate_plan_caches()
+
+    @property
+    def functional(self) -> bool:
+        return self._functional
+
+    @functional.setter
+    def functional(self, value: bool) -> None:
+        self._functional = value
+        self._invalidate_plan_caches()
+
+    def _invalidate_plan_caches(self) -> None:
+        """Drop memoized plans/durations; overridden by caching kernels."""
+
+    # ------------------------------------------------------------------
     # Subclass responsibilities
     # ------------------------------------------------------------------
     @property

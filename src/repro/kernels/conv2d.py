@@ -129,18 +129,29 @@ class Conv2dKernel(TiledKernel):
         self.epilogue = epilogue if epilogue is not None else Identity()
         self.sync_inputs = tuple(sync_inputs)
         self._occupancy_cache: Optional[int] = None
+        self._invalidate_plan_caches()
+
+    def _invalidate_plan_caches(self) -> None:
+        self._occupancy_cache = None
+        self._chunk_duration_cache: dict = {}
+        self._epilogue_duration_cache: dict = {}
+        self._body_segment_cache: dict = {}
+        self._grid_cache: Optional[Dim3] = None
 
     # ------------------------------------------------------------------
     # TiledKernel interface
     # ------------------------------------------------------------------
     @property
     def grid(self) -> Dim3:
-        cfg, problem = self.config, self.problem
-        return Dim3(
-            ceil_div(problem.gemm_n, cfg.tile_n),
-            ceil_div(problem.gemm_m, cfg.tile_m),
-            cfg.split_k,
-        )
+        grid = self._grid_cache
+        if grid is None:
+            cfg, problem = self.config, self.problem
+            grid = self._grid_cache = Dim3(
+                ceil_div(problem.gemm_n, cfg.tile_n),
+                ceil_div(problem.gemm_m, cfg.tile_m),
+                cfg.split_k,
+            )
+        return grid
 
     @property
     def resources(self) -> KernelResources:
@@ -173,23 +184,88 @@ class Conv2dKernel(TiledKernel):
             (split_index * k_per_split, (split_index + 1) * k_per_split), problem.gemm_k
         )
 
+        tile_m_actual = rows[1] - rows[0]
+        tile_n_actual = cols[1] - cols[0]
+
+        # Share the main-loop segment list between blocks whose read plans
+        # are identical (see GemmKernel.build_block_program): only the input
+        # activations are ever synchronized, so outside functional mode the
+        # body depends on ``rows`` solely when the input is a sync input.
+        if self.functional:
+            segments = self._body_segments(
+                rows, cols, k_range, tile_m_actual, tile_n_actual, occupancy
+            )
+        else:
+            body_key = (
+                rows if problem.input in self.sync_inputs else tile_m_actual,
+                tile_n_actual,
+                k_range,
+            )
+            body = self._body_segment_cache.get(body_key)
+            if body is None:
+                body = self._body_segments(
+                    rows, cols, k_range, tile_m_actual, tile_n_actual, occupancy
+                )
+                self._body_segment_cache[body_key] = body
+            segments = list(body)
+
+        epilogue_key = (tile_m_actual, tile_n_actual)
+        epilogue_duration = self._epilogue_duration_cache.get(epilogue_key)
+        if epilogue_duration is None:
+            epilogue_duration = self.cost_model.gemm_epilogue_us(
+                tile_m_actual, tile_n_actual, occupancy, problem.element_bytes
+            )
+            if self.epilogue.flops_per_element:
+                epilogue_duration += self.cost_model.compute_time_us(
+                    tile_m_actual * tile_n_actual * self.epilogue.flops_per_element,
+                    occupancy,
+                    precision="fp32",
+                )
+            self._epilogue_duration_cache[epilogue_key] = epilogue_duration
+        posts = self.sync.posts_for(tile, self.grid)
+        writes = [TensorAccess(problem.output, self.sync.output_tile_key(tile, self.grid))]
+        compute = self._make_epilogue_compute(rows, cols) if self.functional else None
+        segments.append(
+            Segment(
+                label="epilogue",
+                duration_us=epilogue_duration,
+                posts=posts,
+                writes=writes,
+                compute=compute,
+            )
+        )
+        return ThreadBlockProgram(tile=tile, segments=segments)
+
+    def _body_segments(
+        self,
+        rows: IndexRange,
+        cols: IndexRange,
+        k_range: IndexRange,
+        tile_m_actual: int,
+        tile_n_actual: int,
+        occupancy: int,
+    ) -> List[Segment]:
+        """The main-loop segments of one block (everything but the epilogue)."""
+        problem = self.problem
         input_plan = self._plan_input(rows, k_range)
         weight_plan = [ReadPlanStep(rows=k_range, cols=cols)]
         chunks = _merge_k_plans(input_plan, weight_plan, k_range)
 
-        tile_m_actual = rows[1] - rows[0]
-        tile_n_actual = cols[1] - cols[0]
-
+        reorder_loads = self.sync.reorder_loads
         segments: List[Segment] = []
         for chunk in chunks:
             k_lo, k_hi = chunk.k_range
             chunk_k = k_hi - k_lo
-            duration = self.cost_model.gemm_mainloop_chunk_us(
-                tile_m_actual, tile_n_actual, chunk_k, occupancy, problem.element_bytes
-            )
+            shape_key = (tile_m_actual, tile_n_actual, chunk_k)
+            duration = self._chunk_duration_cache.get(shape_key)
+            if duration is None:
+                duration = self.cost_model.gemm_mainloop_chunk_us(
+                    tile_m_actual, tile_n_actual, chunk_k, occupancy, problem.element_bytes
+                )
+                self._chunk_duration_cache[shape_key] = duration
             waits = list(chunk.waits)
             overlappable = 0.0
-            if self.sync.reorder_loads and waits:
+            if reorder_loads and waits:
                 # Reorder-loads: the filter slice can be prefetched while
                 # waiting on the producer's activation tile.
                 overlappable = self.cost_model.memory_time_us(
@@ -206,29 +282,7 @@ class Conv2dKernel(TiledKernel):
                     compute=compute,
                 )
             )
-
-        epilogue_duration = self.cost_model.gemm_epilogue_us(
-            tile_m_actual, tile_n_actual, occupancy, problem.element_bytes
-        )
-        if self.epilogue.flops_per_element:
-            epilogue_duration += self.cost_model.compute_time_us(
-                tile_m_actual * tile_n_actual * self.epilogue.flops_per_element,
-                occupancy,
-                precision="fp32",
-            )
-        posts = self.sync.posts_for(tile, self.grid)
-        writes = [TensorAccess(problem.output, self.sync.output_tile_key(tile, self.grid))]
-        compute = self._make_epilogue_compute(rows, cols) if self.functional else None
-        segments.append(
-            Segment(
-                label="epilogue",
-                duration_us=epilogue_duration,
-                posts=posts,
-                writes=writes,
-                compute=compute,
-            )
-        )
-        return ThreadBlockProgram(tile=tile, segments=segments)
+        return segments
 
     def _plan_input(self, rows: IndexRange, k_range: IndexRange) -> List[ReadPlanStep]:
         """Plan the gathered reads of the input activations.

@@ -207,6 +207,7 @@ class GemmKernel(TiledKernel):
         self.a_transform = a_transform
         self.a_transform_flops = a_transform_flops
         self._occupancy_cache: Optional[int] = None
+        self._invalidate_plan_caches()
         if functional and self.config.split_k > 1 and not isinstance(self.epilogue, Identity):
             raise SimulationError(
                 "functional simulation of a split-K GeMM with a fused epilogue is not supported: "
@@ -218,12 +219,15 @@ class GemmKernel(TiledKernel):
     # ------------------------------------------------------------------
     @property
     def grid(self) -> Dim3:
-        cfg = self.config
-        return Dim3(
-            ceil_div(self.problem.n, cfg.tile_n),
-            ceil_div(self.problem.m, cfg.tile_m),
-            self.problem.batch * cfg.split_k,
-        )
+        grid = self._grid_cache
+        if grid is None:
+            cfg = self.config
+            grid = self._grid_cache = Dim3(
+                ceil_div(self.problem.n, cfg.tile_n),
+                ceil_div(self.problem.m, cfg.tile_m),
+                self.problem.batch * cfg.split_k,
+            )
+        return grid
 
     @property
     def resources(self) -> KernelResources:
@@ -233,6 +237,19 @@ class GemmKernel(TiledKernel):
         if self._occupancy_cache is None:
             self._occupancy_cache = super().occupancy()
         return self._occupancy_cache
+
+    def _invalidate_plan_caches(self) -> None:
+        # Keyed on tile shapes only: occupancy, element width, epilogue and
+        # a_transform cost are fixed per kernel, and reassigning the inputs
+        # they derive from (sync / cost_model / functional) lands here.
+        self._occupancy_cache = None
+        self._chunk_duration_cache: dict = {}
+        self._epilogue_duration_cache: dict = {}
+        self._overlap_cache: dict = {}
+        #: Shared main-loop segment lists, keyed by the ranges that actually
+        #: influence them (see :meth:`build_block_program`).
+        self._body_segment_cache: dict = {}
+        self._grid_cache: Optional[Dim3] = None
 
     def stage_geometry(self) -> StageGeometry:
         return StageGeometry(
@@ -261,27 +278,66 @@ class GemmKernel(TiledKernel):
             (split_index * k_per_split, (split_index + 1) * k_per_split), problem.k
         )
 
+        tile_m_actual = rows[1] - rows[0]
+        tile_n_actual = cols[1] - cols[0]
+
+        # Main-loop segments carry no per-tile state beyond what their read
+        # plans dictate: the A plan depends on ``rows`` only when A is a
+        # synchronized input (otherwise only the tile height matters, for
+        # the duration), and symmetrically for B and ``cols``.  Outside
+        # functional mode (whose compute closures capture absolute ranges)
+        # the immutable segment list can therefore be shared by every block
+        # with the same key — build_program does O(1) planning work per
+        # block after the first tile of each row/column.
+        if self.functional:
+            body = self._body_segments(
+                rows, cols, k_range, batch_index, tile_m_actual, tile_n_actual, occupancy
+            )
+        else:
+            body_key = (
+                rows if problem.a in self.sync_inputs else tile_m_actual,
+                cols if problem.b in self.sync_inputs else tile_n_actual,
+                k_range,
+                batch_index,
+            )
+            body = self._body_segment_cache.get(body_key)
+            if body is None:
+                body = self._body_segments(
+                    rows, cols, k_range, batch_index, tile_m_actual, tile_n_actual, occupancy
+                )
+                self._body_segment_cache[body_key] = body
+
+        segments = list(body)
+        segments.extend(
+            self._epilogue_segments(tile, batch_index, rows, cols, tile_m_actual, tile_n_actual, occupancy)
+        )
+        return ThreadBlockProgram(tile=tile, segments=segments)
+
+    def _body_segments(
+        self,
+        rows: IndexRange,
+        cols: IndexRange,
+        k_range: IndexRange,
+        batch_index: int,
+        tile_m_actual: int,
+        tile_n_actual: int,
+        occupancy: int,
+    ) -> List[Segment]:
+        """The main-loop segments of one block (everything but the epilogue)."""
         # Ask the stage how the main loop must be chunked for each operand.
         # A is read as [rows, k], B as [k, cols]; only synchronized operands
         # get real waits — plan_reads on a non-dependent operand is a no-op.
+        problem = self.problem
         a_plan = self._plan_operand(problem.a, rows, k_range, batch_index)
         b_plan = self._plan_operand(problem.b, k_range, cols, batch_index, rows_are_k=True)
         chunks = _merge_k_plans(a_plan, b_plan, k_range)
 
-        tile_m_actual = rows[1] - rows[0]
-        tile_n_actual = cols[1] - cols[0]
-
+        reorder_loads = self.sync.reorder_loads
         segments: List[Segment] = []
-        for index, chunk in enumerate(chunks):
+        for chunk in chunks:
             k_lo, k_hi = chunk.k_range
             chunk_k = k_hi - k_lo
-            duration = self.cost_model.gemm_mainloop_chunk_us(
-                tile_m_actual, tile_n_actual, chunk_k, occupancy, problem.element_bytes
-            )
-            if self.a_transform_flops:
-                duration += self.cost_model.compute_time_us(
-                    tile_m_actual * chunk_k * self.a_transform_flops, occupancy, precision="fp32"
-                )
+            duration = self._chunk_duration_us(tile_m_actual, tile_n_actual, chunk_k, occupancy)
             waits = list(chunk.waits)
             reads = list(chunk.reads)
             # Reorder-loads optimization (Section IV-C): while waiting on the
@@ -289,10 +345,8 @@ class GemmKernel(TiledKernel):
             # other operand's slice from global memory; that load time is
             # credited against any actual busy-wait time by the simulator.
             overlappable = 0.0
-            if self.sync.reorder_loads and waits:
-                overlappable = self.cost_model.memory_time_us(
-                    chunk_k * tile_n_actual * problem.element_bytes, occupancy
-                )
+            if reorder_loads and waits:
+                overlappable = self._overlap_credit_us(tile_n_actual, chunk_k, occupancy)
 
             compute = None
             if self.functional:
@@ -307,11 +361,59 @@ class GemmKernel(TiledKernel):
                     compute=compute,
                 )
             )
+        return segments
 
-        segments.extend(
-            self._epilogue_segments(tile, batch_index, rows, cols, tile_m_actual, tile_n_actual, occupancy)
-        )
-        return ThreadBlockProgram(tile=tile, segments=segments)
+    # ------------------------------------------------------------------
+    # Memoized per-shape durations
+    #
+    # A kernel sees only a handful of distinct (tile_m, tile_n, chunk_k)
+    # shapes across its whole grid (interior tiles plus the clamped edge
+    # tiles), so after the first few blocks every duration is a dict hit and
+    # ``build_block_program`` does no cost-model arithmetic per block.
+    # ------------------------------------------------------------------
+    def _chunk_duration_us(self, tile_m: int, tile_n: int, chunk_k: int, occupancy: int) -> float:
+        key = (tile_m, tile_n, chunk_k)
+        duration = self._chunk_duration_cache.get(key)
+        if duration is None:
+            duration = self.cost_model.gemm_mainloop_chunk_us(
+                tile_m, tile_n, chunk_k, occupancy, self.problem.element_bytes
+            )
+            if self.a_transform_flops:
+                duration += self.cost_model.compute_time_us(
+                    tile_m * chunk_k * self.a_transform_flops, occupancy, precision="fp32"
+                )
+            self._chunk_duration_cache[key] = duration
+        return duration
+
+    def _overlap_credit_us(self, tile_n: int, chunk_k: int, occupancy: int) -> float:
+        key = (tile_n, chunk_k)
+        credit = self._overlap_cache.get(key)
+        if credit is None:
+            credit = self.cost_model.memory_time_us(
+                chunk_k * tile_n * self.problem.element_bytes, occupancy
+            )
+            self._overlap_cache[key] = credit
+        return credit
+
+    def _epilogue_duration_us(self, tile_m: int, tile_n: int, occupancy: int) -> float:
+        key = (tile_m, tile_n)
+        duration = self._epilogue_duration_cache.get(key)
+        if duration is None:
+            problem = self.problem
+            duration = self.cost_model.gemm_epilogue_us(
+                tile_m, tile_n, occupancy, problem.element_bytes
+            )
+            elements = tile_m * tile_n
+            if self.epilogue.flops_per_element:
+                duration += self.cost_model.compute_time_us(
+                    elements * self.epilogue.flops_per_element, occupancy, precision="fp32"
+                )
+            if self.epilogue.extra_reads_per_element:
+                duration += self.cost_model.memory_time_us(
+                    elements * self.epilogue.extra_reads_per_element * problem.element_bytes, occupancy
+                )
+            self._epilogue_duration_cache[key] = duration
+        return duration
 
     def _plan_operand(
         self,
@@ -337,19 +439,8 @@ class GemmKernel(TiledKernel):
         occupancy: int,
     ) -> List[Segment]:
         """The final segment: fused epilogue, output store and ``post``."""
-        problem, cfg = self.problem, self.config
-        duration = self.cost_model.gemm_epilogue_us(
-            tile_m_actual, tile_n_actual, occupancy, problem.element_bytes
-        )
-        elements = tile_m_actual * tile_n_actual
-        if self.epilogue.flops_per_element:
-            duration += self.cost_model.compute_time_us(
-                elements * self.epilogue.flops_per_element, occupancy, precision="fp32"
-            )
-        if self.epilogue.extra_reads_per_element:
-            duration += self.cost_model.memory_time_us(
-                elements * self.epilogue.extra_reads_per_element * problem.element_bytes, occupancy
-            )
+        problem = self.problem
+        duration = self._epilogue_duration_us(tile_m_actual, tile_n_actual, occupancy)
 
         waits = []
         reads = []
@@ -471,6 +562,20 @@ def _merge_k_plans(
     ranges.  The merged chunks honour both: a chunk starts wherever either
     plan starts a new guarded step, and carries that step's waits.
     """
+    # Fast path for the overwhelmingly common shape: both operands answer
+    # with a single step covering the whole K range (unsynchronized inputs
+    # and RowSync dependences).  The general merge below would produce
+    # exactly one chunk carrying A's waits then B's waits.
+    if len(a_plan) == 1 and len(b_plan) == 1 and k_range[1] > k_range[0]:
+        a_step, b_step = a_plan[0], b_plan[0]
+        if a_step.cols == k_range and b_step.rows == k_range:
+            return [
+                _KChunk(
+                    k_range=k_range,
+                    waits=tuple(a_step.waits) + tuple(b_step.waits),
+                    reads=tuple(a_step.reads) + tuple(b_step.reads),
+                )
+            ]
     boundaries = {k_range[0], k_range[1]}
     a_starts = {}
     b_starts = {}

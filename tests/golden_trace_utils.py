@@ -1,0 +1,122 @@
+"""Golden-trace capture for the simulator equivalence test.
+
+The simulator is documented as deterministic: identical inputs produce
+identical traces.  The hot-path optimisations (incremental dispatch,
+indexed SM allocation, block-program caching) must therefore be *trace
+preserving* — every block must land on the same SM at the same time as it
+did before the fast paths existed.
+
+This module captures a canonical set of pipelines (MLP, attention and conv
+chains under StreamSync and cuSync policies) into a JSON-serialisable
+structure.  ``tests/fixtures/golden_traces.json`` pins the output of the
+seed simulator; ``test_golden_traces.py`` re-runs the same pipelines on the
+current simulator and asserts exact equality.
+
+Regenerate the fixture (only when a change is *intended* to alter traces)
+with::
+
+    PYTHONPATH=src python tests/golden_trace_utils.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.gpu.arch import TESLA_V100
+from repro.models.attention import Attention
+from repro.models.config import GPT3_145B, RESNET38_LAYERS
+from repro.models.conv_layers import ConvChain
+from repro.models.mlp import GptMlp
+
+FIXTURE_PATH = os.path.join(os.path.dirname(__file__), "fixtures", "golden_traces.json")
+
+
+def _workloads() -> Dict[str, object]:
+    """The pinned workloads.  Kept small enough to run in a few hundred ms."""
+    by_channels = {spec.channels: spec for spec in RESNET38_LAYERS}
+    return {
+        "mlp_b256": GptMlp(batch_seq=256, arch=TESLA_V100),
+        "mlp_b512": GptMlp(batch_seq=512, arch=TESLA_V100),
+        "attention_s256": Attention(config=GPT3_145B, batch=1, seq=256, cached=0, arch=TESLA_V100),
+        "conv_c64": ConvChain(by_channels[64], batch=1, arch=TESLA_V100),
+    }
+
+
+def _schemes(name: str) -> List[str]:
+    """Synchronization schemes exercised per workload."""
+    if name.startswith("conv"):
+        return ["streamsync", "cusync:RowSync", "cusync:Conv2DTileSync"]
+    if name.startswith("attention"):
+        return ["streamsync", "cusync:TileSync", "cusync:StridedTileSync"]
+    return ["streamsync", "cusync:TileSync", "cusync:RowSync"]
+
+
+def _run(workload, scheme: str):
+    if scheme == "streamsync":
+        return workload.run_streamsync()
+    _, policy = scheme.split(":", 1)
+    return workload.run_cusync(policy=policy)
+
+
+def _serialize_result(result) -> Dict[str, object]:
+    simulation = result.simulation
+    trace = simulation.trace
+    kernels = {
+        name: {
+            "duration_us": stats.duration_us,
+            "issue_time_us": stats.issue_time_us,
+            "start_time_us": stats.start_time_us,
+            "end_time_us": stats.end_time_us,
+            "total_wait_time_us": stats.total_wait_time_us,
+            "total_work_time_us": stats.total_work_time_us,
+            "num_blocks": stats.num_blocks,
+        }
+        for name, stats in sorted(trace.kernels.items())
+    }
+    blocks = [
+        {
+            "kernel": record.kernel,
+            "tile": [record.tile.x, record.tile.y, record.tile.z],
+            "dispatch_index": record.dispatch_index,
+            "sm_id": record.sm_id,
+            "dispatch_time_us": record.dispatch_time_us,
+            "end_time_us": record.end_time_us,
+            "wait_time_us": record.wait_time_us,
+            "work_time_us": record.work_time_us,
+        }
+        for record in trace.blocks
+    ]
+    return {
+        "total_time_us": simulation.total_time_us,
+        "host_issue_time_us": simulation.host_issue_time_us,
+        "kernels": kernels,
+        "blocks": blocks,
+    }
+
+
+def capture_traces() -> Dict[str, Dict[str, object]]:
+    """Run every pinned (workload, scheme) pair and serialise its trace."""
+    captured: Dict[str, Dict[str, object]] = {}
+    for name, workload in _workloads().items():
+        for scheme in _schemes(name):
+            captured[f"{name}/{scheme}"] = _serialize_result(_run(workload, scheme))
+    return captured
+
+
+def load_fixture() -> Dict[str, Dict[str, object]]:
+    with open(FIXTURE_PATH) as handle:
+        return json.load(handle)
+
+
+def write_fixture() -> None:
+    os.makedirs(os.path.dirname(FIXTURE_PATH), exist_ok=True)
+    with open(FIXTURE_PATH, "w") as handle:
+        json.dump(capture_traces(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+if __name__ == "__main__":
+    write_fixture()
+    print(f"wrote {FIXTURE_PATH}")
