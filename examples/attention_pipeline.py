@@ -19,11 +19,13 @@ import numpy as np
 
 from repro.bench import format_percent, format_table
 from repro.models import Attention, TransformerConfig
+from repro.pipeline import Session
 
 POLICIES = ("TileSync", "RowSync", "StridedTileSync")
 
 
 def timing_study():
+    session = Session()
     rows = []
     configs = [
         ("prompt", dict(batch=1, seq=512, cached=0)),
@@ -32,11 +34,14 @@ def timing_study():
         ("token-gen", dict(batch=4, seq=1, cached=2048)),
     ]
     for phase, kwargs in configs:
-        workload = Attention(**kwargs)
-        baseline = workload.run_streamsync().total_time_us
+        # One graph per configuration, reused across the baseline and all
+        # three policy families (the range-mapped Q/K/V edges are ad-hoc
+        # closures, so the sweep transparently runs serially in-process).
+        graph = Attention(**kwargs).to_graph()
+        baseline = session.run(graph, scheme="streamsync").total_time_us
         cells = [phase, kwargs["batch"], kwargs["seq"], kwargs["cached"], f"{baseline:.0f}"]
         for policy in POLICIES:
-            time_us = workload.run_cusync(policy=policy).total_time_us
+            time_us = session.run(graph, scheme="cusync", policy=policy).total_time_us
             cells.append(format_percent((baseline - time_us) / baseline))
         rows.append(cells)
     print(
@@ -51,7 +56,13 @@ def timing_study():
 def functional_check():
     tiny = TransformerConfig(name="tiny", hidden=256, layers=1, tensor_parallel=8)
     workload = Attention(config=tiny, batch=1, seq=64, cached=0, functional=True, dropout=0.0)
-    result = workload.run_cusync(policy="StridedTileSync")
+    session = Session(functional=True)
+    result = session.run(
+        workload.to_graph(),
+        scheme="cusync",
+        policy="StridedTileSync",
+        tensors=workload.input_tensors(),
+    )
     reference = workload.reference_output()
     error = np.abs(result.tensor("XW12") - reference).max()
     print(f"\nFunctional check (tiny config, StridedTileSync): max |error| = {error:.2e}")

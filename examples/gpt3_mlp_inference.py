@@ -2,29 +2,36 @@
 """GPT-3 MLP inference across batch sizes (the paper's Table IV scenario).
 
 Builds the two dependent GeMMs of MegatronLM GPT-3's MLP block (hidden
-dimension 12288, 8-way model parallelism) at several inference batch sizes,
-runs them under StreamSync, Stream-K and cuSync (TileSync and RowSync), and
-prints a Table IV-style comparison showing which policy wins where.
+dimension 12288, 8-way model parallelism) at several inference batch sizes
+as one ``PipelineGraph`` per batch, then lets ``Session.sweep`` fan each
+graph out over every scheme and policy — StreamSync, Stream-K and cuSync
+(TileSync and RowSync) — reusing the same kernels for every point (and
+worker processes when available).  Prints a Table IV-style comparison
+showing which policy wins where.
 
 Run with:  python examples/gpt3_mlp_inference.py
 """
 
 from repro.bench import format_percent, format_table
 from repro.models import GptMlp
+from repro.pipeline import Session
 
 BATCH_SIZES = (64, 256, 512, 1024, 2048)
 POLICIES = ("TileSync", "RowSync")
 
 
 def main():
+    session = Session()
     rows = []
     for batch_seq in BATCH_SIZES:
-        workload = GptMlp(batch_seq=batch_seq)
-        streamsync = workload.run_streamsync().total_time_us
-        streamk = workload.run_streamk().total_time_us
-        policy_times = {
-            policy: workload.run_cusync(policy=policy).total_time_us for policy in POLICIES
-        }
+        graph = GptMlp(batch_seq=batch_seq).to_graph()
+        results = session.sweep(
+            graph, policies=POLICIES, schemes=("streamsync", "streamk", "cusync")
+        )
+        by_point = {(r.scheme, r.policy): r.total_time_us for r in results}
+        streamsync = by_point[("streamsync", None)]
+        streamk = by_point[("streamk", None)]
+        policy_times = {policy: by_point[("cusync", policy)] for policy in POLICIES}
         best_policy = min(policy_times, key=policy_times.get)
         best = policy_times[best_policy]
         rows.append(

@@ -15,19 +15,23 @@ import numpy as np
 from repro.bench import format_percent, format_table
 from repro.models import ConvChain
 from repro.models.config import ConvLayerSpec, RESNET38_LAYERS
+from repro.pipeline import Session
 
 POLICIES = ("RowSync", "Conv2DTileSync")
 
 
 def timing_study():
+    session = Session()
     rows = []
     for spec in RESNET38_LAYERS:
         for batch in (1, 8, 32):
-            workload = ConvChain(spec, batch=batch)
-            baseline = workload.run_streamsync().total_time_us
+            # One graph per layer/batch point, reused for the baseline and
+            # both policy families.
+            graph = ConvChain(spec, batch=batch).to_graph()
+            baseline = session.run(graph, scheme="streamsync").total_time_us
             cells = [spec.channels, f"{spec.image}x{spec.image}", batch, f"{baseline:.0f}"]
             for policy in POLICIES:
-                time_us = workload.run_cusync(policy=policy).total_time_us
+                time_us = session.run(graph, scheme="cusync", policy=policy).total_time_us
                 cells.append(format_percent((baseline - time_us) / baseline))
             rows.append(cells)
     print(
@@ -42,7 +46,13 @@ def timing_study():
 def functional_check():
     spec = ConvLayerSpec(image=10, channels=8, kernel=3, convs_per_layer=2, layers=1)
     workload = ConvChain(spec, batch=1, functional=True)
-    result = workload.run_cusync(policy="Conv2DTileSync")
+    session = Session(functional=True)
+    result = session.run(
+        workload.to_graph(),
+        scheme="cusync",
+        policy="Conv2DTileSync",
+        tensors=workload.input_tensors(),
+    )
     error = np.abs(result.tensor("act2") - workload.reference_output()).max()
     print(f"\nFunctional check (10x10x8 images, 2 convs): max |error| = {error:.2e}")
     assert error < 1e-2

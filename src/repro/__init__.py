@@ -16,6 +16,10 @@ simulator (no GPU required):
   kernels (the CUTLASS analogue);
 * :mod:`repro.cusync` — the cuSync framework itself (stages, policies, tile
   orders, optimizations, pipelines);
+* :mod:`repro.pipeline` — the declarative API: one immutable
+  :class:`~repro.pipeline.PipelineGraph` per computation, pluggable
+  execution backends (``streamsync`` / ``streamk`` / ``cusync``) and a
+  :class:`~repro.pipeline.Session` for repeated runs and parallel sweeps;
 * :mod:`repro.dsl` — the cuSyncGen DSL and policy/tile-order compiler;
 * :mod:`repro.models` — the ML-model workloads of the evaluation (GPT-3,
   LLaMA, ResNet-38, VGG-19);
@@ -29,6 +33,7 @@ from repro.errors import (
     SimulationError,
     DeadlockError,
     SynchronizationError,
+    GraphValidationError,
     DataRaceError,
     DslError,
     DslBoundsError,
@@ -43,6 +48,7 @@ __all__ = [
     "SimulationError",
     "DeadlockError",
     "SynchronizationError",
+    "GraphValidationError",
     "DataRaceError",
     "DslError",
     "DslBoundsError",

@@ -3,6 +3,11 @@
 Every function returns a list of dictionaries (one per row of the paper's
 table or bar of the figure) so tests can assert the qualitative shape and
 the benchmark scripts can print them; nothing here writes files or plots.
+
+All experiments run on the declarative :mod:`repro.pipeline` API: each
+workload's graph is built **once** and re-run under every scheme, policy
+family and optimization setting — the kernels are bound per execution,
+never rebuilt, which is what makes multi-point comparisons cheap.
 """
 
 from __future__ import annotations
@@ -20,9 +25,9 @@ from repro.kernels import elementwise as elementwise_module
 from repro.kernels import gemm as gemm_module
 from repro.kernels import softmax_dropout as softmax_module
 from repro.kernels.elementwise import CopyKernel, CopyProblem
-from repro.cusync import CuSyncPipeline, OptimizationFlags, TileSync
+from repro.cusync import OptimizationFlags, TileSync
 from repro.cusync.optimizations import decorate_policy_name
-from repro.baselines import StreamSyncExecutor
+from repro.pipeline import Edge, PipelineGraph, Session, StageSpec
 from repro.models.attention import Attention
 from repro.models.config import GPT3_145B, LLAMA_65B, RESNET38_LAYERS, VGG19_LAYERS, resnet38_config, vgg19_config
 from repro.models.conv_layers import ConvChain
@@ -48,9 +53,9 @@ def table1_utilization(
     rows: List[Dict[str, object]] = []
     for batch in batch_sizes:
         workload = GptMlp(batch_seq=batch, arch=arch)
-        specs = workload.build()
-        for role, spec in zip(("Producer", "Consumer"), specs):
-            kernel = spec.kernel
+        graph = workload.to_graph()
+        for role, stage in zip(("Producer", "Consumer"), graph.topological_order):
+            kernel = stage.kernel
             occupancy = kernel.occupancy()
             blocks = kernel.grid.volume
             rows.append(
@@ -110,13 +115,17 @@ def table4_mlp(
     policies: Sequence[str] = ("TileSync", "RowSync"),
 ) -> List[Dict[str, object]]:
     """Reproduce Table IV: grids, waves, times and the best policy."""
+    session = Session(arch=arch)
     rows: List[Dict[str, object]] = []
     for batch in batch_sizes:
         workload = GptMlp(batch_seq=batch, arch=arch)
-        specs = workload.build()
-        first, second = specs[0].kernel, specs[1].kernel
-        streamsync = workload.run_streamsync().total_time_us
-        policy_times = {name: workload.run_cusync(policy=name).total_time_us for name in policies}
+        graph = workload.to_graph()
+        first, second = graph.kernels
+        streamsync = session.run(graph, scheme="streamsync").total_time_us
+        policy_times = {
+            name: session.run(graph, scheme="cusync", policy=name).total_time_us
+            for name in policies
+        }
         best_policy = min(policy_times, key=policy_times.get)
         best_time = policy_times[best_policy]
 
@@ -152,8 +161,12 @@ _OPTIMIZATION_LADDER: Tuple[Tuple[str, OptimizationFlags], ...] = (
 
 
 def _optimization_ladder(workload: Workload, policy: str) -> Dict[str, float]:
+    session = Session(arch=workload.arch, cost_model=workload.cost_model)
+    graph = workload.to_graph()
     return {
-        label: workload.run_cusync(policy=policy, optimizations=flags).total_time_us
+        label: session.run(
+            graph, scheme="cusync", policy=policy, optimizations=flags
+        ).total_time_us
         for label, flags in _OPTIMIZATION_LADDER
     }
 
@@ -187,13 +200,15 @@ def table5_conv_optimizations(
 # Figure 6 — MLP and Attention improvements for GPT-3 and LLaMA
 # ----------------------------------------------------------------------
 def _improvements(workload: Workload, policies: Sequence[str], include_streamk: bool) -> Dict[str, float]:
-    baseline = workload.run_streamsync().total_time_us
+    session = Session(arch=workload.arch, cost_model=workload.cost_model)
+    graph = workload.to_graph()
+    baseline = session.run(graph, scheme="streamsync").total_time_us
     result: Dict[str, float] = {"streamsync_us": baseline}
     for family in policies:
-        time_us = workload.run_cusync(policy=family).total_time_us
+        time_us = session.run(graph, scheme="cusync", policy=family).total_time_us
         result[family] = (baseline - time_us) / baseline
     if include_streamk:
-        streamk = workload.run_streamk().total_time_us
+        streamk = session.run(graph, scheme="streamk").total_time_us
         result["StreamK"] = (baseline - streamk) / baseline
     result["best"] = max(result[family] for family in policies)
     return result
@@ -340,27 +355,28 @@ def overhead_experiment(
     if blocks is None:
         blocks = arch.blocks_per_wave(occupancy)
 
-    def build_kernels():
-        producer_problem = CopyProblem.for_block_count(blocks, source="input", destination="mid")
-        consumer_problem = CopyProblem.for_block_count(blocks, source="mid", destination="output")
-        producer = CopyKernel("copy_producer", producer_problem, cost_model=cost_model)
-        consumer = CopyKernel(
-            "copy_consumer", consumer_problem, sync_inputs=("mid",), cost_model=cost_model
-        )
-        return producer, consumer
-
-    producer, consumer = build_kernels()
-    streamsync = StreamSyncExecutor(arch=arch, cost_model=cost_model).run([producer, consumer])
-
-    producer, consumer = build_kernels()
-    pipeline = CuSyncPipeline(arch=arch, cost_model=cost_model)
-    stage1 = pipeline.add_stage(producer, policy=TileSync(), optimizations=OptimizationFlags.wrt())
-    stage2 = pipeline.add_stage(consumer, policy=TileSync(), optimizations=OptimizationFlags.wrt())
-    pipeline.add_dependency(stage1, stage2, "mid")
-    cusync = pipeline.run()
-
-    streamsync_us = streamsync.total_time_us
-    cusync_us = cusync.total_time_us
+    producer_problem = CopyProblem.for_block_count(blocks, source="input", destination="mid")
+    consumer_problem = CopyProblem.for_block_count(blocks, source="mid", destination="output")
+    producer = CopyKernel("copy_producer", producer_problem, cost_model=cost_model)
+    consumer = CopyKernel(
+        "copy_consumer", consumer_problem, sync_inputs=("mid",), cost_model=cost_model
+    )
+    # One graph, both schemes: the per-stage overrides pin the policy and
+    # the +WRT flags regardless of the run-time family.
+    graph = PipelineGraph(
+        stages=[
+            StageSpec(
+                "copy_producer", producer, policy=TileSync(), optimizations=OptimizationFlags.wrt()
+            ),
+            StageSpec(
+                "copy_consumer", consumer, policy=TileSync(), optimizations=OptimizationFlags.wrt()
+            ),
+        ],
+        edges=[Edge("copy_producer", "copy_consumer", tensor="mid")],
+    )
+    session = Session(arch=arch, cost_model=cost_model)
+    streamsync_us = session.run(graph, scheme="streamsync").total_time_us
+    cusync_us = session.run(graph, scheme="cusync").total_time_us
     return {
         "blocks_per_kernel": float(blocks),
         "occupancy": float(occupancy),

@@ -1,10 +1,17 @@
 """Pipeline assembly: stages, dependencies, wait-kernels and execution.
 
-:class:`CuSyncPipeline` is the user-facing entry point and corresponds to
-the host-side code of the paper's Figure 4a (the ``MLP`` function): create a
-stage per kernel, declare dependencies between stages, and invoke the
-kernels — each on its own stream, with a wait-kernel in front of every
-consumer unless the W optimization elides it.
+:class:`CuSyncPipeline` corresponds to the host-side code of the paper's
+Figure 4a (the ``MLP`` function): create a stage per kernel, declare
+dependencies between stages, and invoke the kernels — each on its own
+stream, with a wait-kernel in front of every consumer unless the W
+optimization elides it.
+
+Since the introduction of the declarative :mod:`repro.pipeline` API this
+class is the **per-execution binding layer**: the ``cusync`` backend
+materializes one pipeline (fresh :class:`~repro.cusync.custage.CuStage`
+objects, stream assignment, semaphore allocation) per run of an immutable
+:class:`~repro.pipeline.PipelineGraph` and discards it afterwards.  It can
+still be used directly as the imperative handle shown below.
 
 The pipeline builds plain :class:`~repro.gpu.kernel.KernelLaunch` objects
 and runs them on the :class:`~repro.gpu.simulator.GpuSimulator`; a

@@ -35,6 +35,16 @@ class SynchronizationError(ReproError):
     """A synchronization policy or dependency declaration is inconsistent."""
 
 
+class GraphValidationError(ReproError):
+    """A declarative :class:`~repro.pipeline.PipelineGraph` is malformed.
+
+    Raised at graph *construction* time — duplicate stage names, edges that
+    reference unknown stages (dangling edges), edges whose tensor is not
+    produced by their producer stage, and dependency cycles are all rejected
+    before any executor sees the graph.
+    """
+
+
 class DataRaceError(SynchronizationError):
     """A consumer tile read data before its producer tile posted.
 

@@ -11,10 +11,12 @@ The paper evaluates cuSync on four models, all running inference with
 * **ResNet-38** and **VGG-19** — chains of 3x3 Conv2D layers with the
   shapes of Table II.
 
-Each module builds the kernels of one block (as plain
-:class:`~repro.kernels.base.TiledKernel` objects) and knows how to wire
-them into a cuSync pipeline, a StreamSync baseline, or a Stream-K baseline,
-so the benchmark harness can compare all three on identical problems.
+Each module describes the kernels of one block and their dependence
+structure **once**, as an immutable
+:class:`~repro.pipeline.PipelineGraph` (``workload.to_graph()``); the
+benchmark harness runs that same graph under cuSync, StreamSync and
+Stream-K through :mod:`repro.pipeline`, comparing all three on identical
+problems without rebuilding a kernel.
 """
 
 from repro.models.config import (

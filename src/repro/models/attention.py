@@ -34,7 +34,8 @@ from repro.gpu.costmodel import CostModel
 from repro.kernels.gemm import GemmConfig, GemmKernel, GemmProblem, choose_gemm_config
 from repro.kernels.softmax_dropout import SoftmaxDropoutKernel, SoftmaxDropoutProblem
 from repro.models.config import GPT3_145B, TransformerConfig
-from repro.models.workload import DependencySpec, KernelSpec, Workload
+from repro.models.workload import Workload
+from repro.pipeline.graph import Edge, PipelineGraph, StageSpec
 
 
 class Attention(Workload):
@@ -84,7 +85,7 @@ class Attention(Workload):
         return self.config.attention_head_dim_per_gpu
 
     # ------------------------------------------------------------------
-    def build(self) -> List[KernelSpec]:
+    def to_graph(self) -> PipelineGraph:
         hidden = self.config.hidden
         width = self.head_width
         rows, keys = self.rows, self.keys
@@ -118,7 +119,6 @@ class Attention(Workload):
 
         width_offset_k = 2 * width   # XK lives in XQKV columns [2H/8, 3H/8)
         width_offset_v = width       # XV lives in XQKV columns [H/8, 2H/8)
-        cached = self.cached
         all_rows = (0, rows)
 
         def query_map(row_range, col_range, batch):
@@ -136,36 +136,26 @@ class Attention(Workload):
             # XV slice.
             return all_rows, (width_offset_v + col_range[0], width_offset_v + col_range[1]), 0
 
-        specs = [
-            KernelSpec(kernel=qkv, strided_groups=3),
-            KernelSpec(
-                kernel=scores,
-                dependencies=[
-                    DependencySpec(producer_index=0, tensor="XQ", range_map=query_map),
-                    DependencySpec(producer_index=0, tensor="Kall", range_map=key_map),
-                ],
-            ),
-            KernelSpec(
-                kernel=softmax,
-                dependencies=[DependencySpec(producer_index=1, tensor="P")],
-            ),
-            KernelSpec(
-                kernel=values,
-                dependencies=[
-                    DependencySpec(producer_index=2, tensor="R"),
-                    DependencySpec(producer_index=0, tensor="Vall", range_map=value_map),
-                ],
-            ),
-            KernelSpec(
-                kernel=output,
-                dependencies=[DependencySpec(producer_index=3, tensor="T")],
-            ),
-        ]
-        if cached > 0:
-            # With a KV cache most keys pre-exist in memory; the dependence
-            # on XQKV's key/value slices remains, only its weight shrinks.
-            pass
-        return specs
+        # With a KV cache (``cached > 0``) most keys pre-exist in memory;
+        # the dependence on XQKV's key/value slices remains, only its
+        # weight shrinks — the graph is identical in both phases.
+        return PipelineGraph(
+            stages=[
+                StageSpec(name="attn_qkv", kernel=qkv, strided_groups=3),
+                StageSpec(name="attn_scores", kernel=scores),
+                StageSpec(name="attn_softmax", kernel=softmax),
+                StageSpec(name="attn_values", kernel=values),
+                StageSpec(name="attn_out", kernel=output),
+            ],
+            edges=[
+                Edge("attn_qkv", "attn_scores", tensor="XQ", range_map=query_map),
+                Edge("attn_qkv", "attn_scores", tensor="Kall", range_map=key_map),
+                Edge("attn_scores", "attn_softmax", tensor="P"),
+                Edge("attn_softmax", "attn_values", tensor="R"),
+                Edge("attn_qkv", "attn_values", tensor="Vall", range_map=value_map),
+                Edge("attn_values", "attn_out", tensor="T"),
+            ],
+        )
 
     # ------------------------------------------------------------------
     # Functional simulation

@@ -18,7 +18,8 @@ from repro.gpu.costmodel import CostModel
 from repro.kernels.conv2d import Conv2dConfig, Conv2dKernel, Conv2dProblem, choose_conv2d_config
 from repro.kernels.epilogue import ReLU
 from repro.models.config import ConvLayerSpec
-from repro.models.workload import DependencySpec, KernelSpec, Workload
+from repro.models.workload import Workload
+from repro.pipeline.graph import Edge, PipelineGraph, StageSpec
 
 
 class ConvChain(Workload):
@@ -69,8 +70,9 @@ class ConvChain(Workload):
             output=f"act{index + 1}",
         )
 
-    def build(self) -> List[KernelSpec]:
-        specs: List[KernelSpec] = []
+    def to_graph(self) -> PipelineGraph:
+        stages: List[StageSpec] = []
+        edges: List[Edge] = []
         for index in range(self.convs):
             problem = self.problem(index)
             config = self.config if self.config is not None else choose_conv2d_config(problem)
@@ -83,11 +85,12 @@ class ConvChain(Workload):
                 cost_model=self.cost_model,
                 functional=self.functional,
             )
-            dependencies = []
+            stages.append(StageSpec(name=kernel.name, kernel=kernel))
             if index > 0:
-                dependencies.append(DependencySpec(producer_index=index - 1, tensor=problem.input))
-            specs.append(KernelSpec(kernel=kernel, dependencies=dependencies))
-        return specs
+                edges.append(
+                    Edge(producer=f"conv{index - 1}", consumer=f"conv{index}", tensor=problem.input)
+                )
+        return PipelineGraph(stages=stages, edges=edges)
 
     # ------------------------------------------------------------------
     def input_tensors(self, rng: Optional[np.random.Generator] = None) -> Dict[str, np.ndarray]:

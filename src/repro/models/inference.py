@@ -32,8 +32,8 @@ from repro.models.config import (
 from repro.models.conv_layers import ConvChain
 from repro.models.llama_mlp import LlamaMlp
 from repro.models.mlp import GptMlp
-from repro.models.workload import PolicySpec, Workload
-from repro.cusync.optimizations import OptimizationFlags
+from repro.models.workload import Workload
+from repro.pipeline import run as run_graph
 
 #: Bytes per fp16 element, used for all-reduce volume estimates.
 FP16_BYTES = 2
@@ -58,10 +58,28 @@ class InferenceEstimate:
         return (self.streamsync_us - self.cusync_us) / self.streamsync_us
 
 
-def _best_cusync_time(workload: Workload, policies: List[str]) -> float:
-    """Best cuSync time across the given policy families (the paper reports
-    the best policy per configuration)."""
-    return min(workload.run_cusync(policy=family).total_time_us for family in policies)
+def _block_times(workload: Workload, policies: List[str]) -> Dict[str, float]:
+    """StreamSync time plus the best cuSync time across policy families.
+
+    The workload's graph is built once and reused for every run — the
+    baseline and every policy family re-bind the same kernels (the paper
+    reports the best policy per configuration).
+    """
+    graph = workload.to_graph()
+    streamsync = run_graph(
+        graph, scheme="streamsync", arch=workload.arch, cost_model=workload.cost_model
+    ).total_time_us
+    cusync = min(
+        run_graph(
+            graph,
+            scheme="cusync",
+            policy=family,
+            arch=workload.arch,
+            cost_model=workload.cost_model,
+        ).total_time_us
+        for family in policies
+    )
+    return {"StreamSync": streamsync, "cuSync": cusync}
 
 
 class TransformerLayer:
@@ -132,27 +150,19 @@ class TransformerLayer:
             if attention_policies is not None
             else policies + ["StridedTileSync"]
         )
-        attention = self.attention()
-        mlp = self.mlp()
-
-        attention_stream = attention.run_streamsync().total_time_us
-        attention_cusync = _best_cusync_time(attention, attention_policies)
-        mlp_stream = mlp.run_streamsync().total_time_us
-        mlp_cusync = _best_cusync_time(mlp, policies)
+        attention_times = _block_times(self.attention(), attention_policies)
+        mlp_times = _block_times(self.mlp(), policies)
 
         layers = self.config.layers
         common = self.allreduce_time_us() * layers
-        streamsync = (attention_stream + mlp_stream) * layers + common
-        cusync = (attention_cusync + mlp_cusync) * layers + common
+        streamsync = (attention_times["StreamSync"] + mlp_times["StreamSync"]) * layers + common
+        cusync = (attention_times["cuSync"] + mlp_times["cuSync"]) * layers + common
         return InferenceEstimate(
             model=self.config.name,
             streamsync_us=streamsync,
             cusync_us=cusync,
             common_us=common,
-            per_block_us={
-                "attention": {"StreamSync": attention_stream, "cuSync": attention_cusync},
-                "mlp": {"StreamSync": mlp_stream, "cuSync": mlp_cusync},
-            },
+            per_block_us={"attention": attention_times, "mlp": mlp_times},
         )
 
 
@@ -184,15 +194,10 @@ class VisionModel:
         cusync = 0.0
         per_block: Dict[str, Dict[str, float]] = {}
         for index, spec in enumerate(self.config.stages):
-            chain = self.stage_chain(index)
-            stream = chain.run_streamsync().total_time_us
-            synced = _best_cusync_time(chain, policies)
-            streamsync += stream * spec.layers
-            cusync += synced * spec.layers
-            per_block[f"stage{index}_c{spec.channels}"] = {
-                "StreamSync": stream,
-                "cuSync": synced,
-            }
+            times = _block_times(self.stage_chain(index), policies)
+            streamsync += times["StreamSync"] * spec.layers
+            cusync += times["cuSync"] * spec.layers
+            per_block[f"stage{index}_c{spec.channels}"] = times
         return InferenceEstimate(
             model=self.config.name,
             streamsync_us=streamsync,

@@ -26,7 +26,8 @@ from repro.gpu.arch import GpuArchitecture, TESLA_V100
 from repro.gpu.costmodel import CostModel
 from repro.kernels.gemm import GemmConfig, GemmKernel, GemmProblem, choose_gemm_config
 from repro.models.config import LLAMA_65B, TransformerConfig
-from repro.models.workload import DependencySpec, KernelSpec, Workload
+from repro.models.workload import Workload
+from repro.pipeline.graph import Edge, PipelineGraph, StageSpec
 
 
 def _swish(values: np.ndarray) -> np.ndarray:
@@ -85,7 +86,7 @@ class LlamaMlp(Workload):
 
         return transform
 
-    def build(self) -> List[KernelSpec]:
+    def to_graph(self) -> PipelineGraph:
         combined, gated = self.problems()
         if self.gemm_configs is not None:
             config1, config2 = self.gemm_configs
@@ -121,15 +122,20 @@ class LlamaMlp(Workload):
             # [c0 + inner, c1 + inner); cover both with one span.
             return rows, (cols[0], cols[1] + inner), batch
 
-        return [
-            KernelSpec(kernel=producer, strided_groups=2),
-            KernelSpec(
-                kernel=consumer,
-                dependencies=[
-                    DependencySpec(producer_index=0, tensor="XW1V", range_map=swiglu_range_map)
-                ],
-            ),
-        ]
+        return PipelineGraph(
+            stages=[
+                StageSpec(name="llama_gemm1", kernel=producer, strided_groups=2),
+                StageSpec(name="llama_gemm2", kernel=consumer),
+            ],
+            edges=[
+                Edge(
+                    producer="llama_gemm1",
+                    consumer="llama_gemm2",
+                    tensor="XW1V",
+                    range_map=swiglu_range_map,
+                )
+            ],
+        )
 
     def input_tensors(self, rng: Optional[np.random.Generator] = None) -> Dict[str, np.ndarray]:
         rng = rng if rng is not None else np.random.default_rng(self.seed)

@@ -22,7 +22,8 @@ from repro.gpu.costmodel import CostModel
 from repro.kernels.epilogue import GeLU
 from repro.kernels.gemm import GemmConfig, GemmKernel, GemmProblem, choose_gemm_config
 from repro.models.config import GPT3_145B, TransformerConfig
-from repro.models.workload import DependencySpec, KernelSpec, Workload
+from repro.models.workload import Workload
+from repro.pipeline.graph import Edge, PipelineGraph, StageSpec
 
 
 def gpt3_mlp_gemm_configs(batch_seq: int) -> Tuple[GemmConfig, GemmConfig]:
@@ -94,7 +95,7 @@ class GptMlp(Workload):
         second = GemmProblem(m=self.batch_seq, n=hidden, k=intermediate, a="XW1", b="W2", c="XW12")
         return first, second
 
-    def build(self) -> List[KernelSpec]:
+    def to_graph(self) -> PipelineGraph:
         first, second = self.problems()
         if self.gemm_configs is not None:
             config1, config2 = self.gemm_configs
@@ -121,10 +122,13 @@ class GptMlp(Workload):
             cost_model=self.cost_model,
             functional=self.functional,
         )
-        return [
-            KernelSpec(kernel=producer),
-            KernelSpec(kernel=consumer, dependencies=[DependencySpec(producer_index=0, tensor="XW1")]),
-        ]
+        return PipelineGraph(
+            stages=[
+                StageSpec(name="mlp_gemm1", kernel=producer),
+                StageSpec(name="mlp_gemm2", kernel=consumer),
+            ],
+            edges=[Edge(producer="mlp_gemm1", consumer="mlp_gemm2", tensor="XW1")],
+        )
 
     def input_tensors(self, rng: Optional[np.random.Generator] = None) -> Dict[str, np.ndarray]:
         rng = rng if rng is not None else np.random.default_rng(self.seed)

@@ -1,46 +1,49 @@
 """Common machinery for model workloads.
 
 A *workload* is a short chain of dependent kernels (an MLP, an attention
-block, a pair of Conv2Ds...).  Every workload can be executed three ways —
-StreamSync, Stream-K, or a cuSync pipeline under a chosen policy — on
-identical kernels, which is what the evaluation harness compares.
+block, a pair of Conv2Ds...).  Each workload describes its kernels and
+dependence structure **once**, as an immutable
+:class:`~repro.pipeline.graph.PipelineGraph` (:meth:`Workload.to_graph`);
+execution — under StreamSync, Stream-K or a cuSync policy family — is the
+job of :mod:`repro.pipeline`, whose backends bind per-run synchronization
+state to the graph's kernels without ever rebuilding them.
 
-Subclasses implement :meth:`build`, returning fresh kernels plus their
-dependence structure; the runners here assemble the executors.  Kernels are
-rebuilt for every run because executors attach synchronization state to
-them.
+The historical entry points (:meth:`build`, :meth:`run_streamsync`,
+:meth:`run_streamk`, :meth:`run_cusync`) are kept as thin shims delegating
+to the new API; new code should call ``workload.to_graph()`` once and run
+the graph through :func:`repro.pipeline.run` or a
+:class:`~repro.pipeline.session.Session`.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.errors import ModelConfigError
 from repro.gpu.arch import GpuArchitecture, TESLA_V100
 from repro.gpu.costmodel import CostModel
 from repro.gpu.memory import GlobalMemory
 from repro.kernels.base import TiledKernel
-from repro.kernels.gemm import GemmKernel
-from repro.baselines.streamsync import StreamSyncExecutor
-from repro.baselines.streamk import StreamKExecutor
 from repro.cusync.custage import RangeMap
-from repro.cusync.handle import CuSyncPipeline, PipelineResult
-from repro.cusync.optimizations import OptimizationFlags, auto_optimizations
-from repro.cusync.policies import Conv2DTileSync, RowSync, StridedSync, SyncPolicy, TileSync
-from repro.cusync.tile_orders import GroupedColumnsOrder, RowMajorOrder, TileOrder
+from repro.cusync.handle import PipelineResult
+from repro.cusync.optimizations import OptimizationFlags
+from repro.cusync.policies import SyncPolicy
+from repro.cusync.tile_orders import TileOrder
+from repro.pipeline import graph as pipeline_graph
+from repro.pipeline.executors import resolve_order, resolve_policy
+from repro.pipeline.session import run as run_graph
 
-#: Policy selector: either a policy name understood by :func:`make_policy`
-#: or an explicit per-stage list of policy instances.
-PolicySpec = Union[str, List[SyncPolicy]]
+#: Re-exported from :mod:`repro.pipeline.executors` for backward
+#: compatibility: a policy family name or an explicit per-stage list.
+from repro.pipeline.executors import PolicySpec  # noqa: F401  (public API)
 
 
 @dataclass
 class DependencySpec:
-    """One producer → consumer edge inside a workload."""
+    """One producer → consumer edge inside a workload (legacy description)."""
 
     producer_index: int
     tensor: str
@@ -49,7 +52,12 @@ class DependencySpec:
 
 @dataclass
 class KernelSpec:
-    """One kernel of a workload plus its dependence metadata."""
+    """One kernel of a workload plus its dependence metadata (legacy).
+
+    New code should construct :class:`~repro.pipeline.graph.StageSpec` /
+    :class:`~repro.pipeline.graph.Edge` objects directly; this class is the
+    index-based form older call sites (and :meth:`Workload.build`) use.
+    """
 
     kernel: TiledKernel
     dependencies: List[DependencySpec] = field(default_factory=list)
@@ -59,35 +67,27 @@ class KernelSpec:
     strided_groups: Optional[int] = None
 
 
+def _stage_of(spec: KernelSpec) -> pipeline_graph.StageSpec:
+    return pipeline_graph.StageSpec(
+        name=spec.kernel.name, kernel=spec.kernel, strided_groups=spec.strided_groups
+    )
+
+
 def make_policy(name: str, spec: KernelSpec) -> SyncPolicy:
-    """Build the policy instance a named policy family uses for one stage."""
-    normalized = name.lower()
-    if normalized in ("tilesync", "tile"):
-        return TileSync()
-    if normalized in ("rowsync", "row"):
-        return RowSync()
-    if normalized in ("conv2dtilesync", "conv2dtile"):
-        return Conv2DTileSync()
-    if normalized in ("stridedtilesync", "strided"):
-        if spec.strided_groups is not None:
-            grid = spec.kernel.stage_geometry().logical_grid
-            if grid.x % spec.strided_groups == 0 and grid.x > spec.strided_groups:
-                return StridedSync(stride=grid.x // spec.strided_groups)
-        return TileSync()
-    raise ModelConfigError(f"unknown synchronization policy family {name!r}")
+    """Build the policy instance a named policy family uses for one stage.
+
+    Legacy shim over :func:`repro.pipeline.executors.resolve_policy`.
+    """
+    return resolve_policy(name, _stage_of(spec))
 
 
 def make_order(name: str, spec: KernelSpec) -> TileOrder:
-    """Tile processing order paired with a policy family."""
-    if name.lower() in ("stridedtilesync", "strided") and spec.strided_groups is not None:
-        grid = spec.kernel.stage_geometry().logical_grid
-        if grid.x % spec.strided_groups == 0 and grid.x > spec.strided_groups:
-            return GroupedColumnsOrder(group=spec.strided_groups)
-    return RowMajorOrder()
+    """Tile processing order paired with a policy family (legacy shim)."""
+    return resolve_order(name, _stage_of(spec))
 
 
 class Workload(ABC):
-    """A chain of dependent kernels that can be run under any scheme."""
+    """A chain of dependent kernels, described once and run under any scheme."""
 
     def __init__(
         self,
@@ -100,11 +100,16 @@ class Workload(ABC):
         self.functional = functional
 
     # ------------------------------------------------------------------
-    # Subclass responsibilities
+    # Subclass responsibility: the graph description
     # ------------------------------------------------------------------
     @abstractmethod
-    def build(self) -> List[KernelSpec]:
-        """Create fresh kernels (and their dependence structure)."""
+    def to_graph(self) -> pipeline_graph.PipelineGraph:
+        """Create the workload's pipeline graph (fresh kernels).
+
+        The returned graph is immutable and reusable: run it as many times
+        as needed, under every scheme, policy and architecture — kernels
+        are bound per execution, never rebuilt.
+        """
 
     def input_tensors(self, rng: Optional[np.random.Generator] = None) -> Dict[str, np.ndarray]:
         """Input arrays for functional simulation (weights, activations)."""
@@ -115,31 +120,75 @@ class Workload(ABC):
         return type(self).__name__
 
     # ------------------------------------------------------------------
-    # Execution under the three schemes
+    # Legacy index-based description (shim over the graph)
     # ------------------------------------------------------------------
-    def run_streamsync(self, memory: Optional[GlobalMemory] = None) -> PipelineResult:
-        """Execute with CUDA stream synchronization (the baseline)."""
-        specs = self.build()
-        executor = StreamSyncExecutor(
-            arch=self.arch, cost_model=self.cost_model, functional=self.functional
-        )
-        return executor.run(
-            [spec.kernel for spec in specs],
+    def build(self) -> List[KernelSpec]:
+        """Create fresh kernels plus their dependence structure.
+
+        .. deprecated:: use :meth:`to_graph`; this adapter re-derives the
+           index-based :class:`KernelSpec` list from the graph for older
+           call sites.
+        """
+        graph = self.to_graph()
+        order = list(graph.topological_order)
+        index_of = {stage.name: index for index, stage in enumerate(order)}
+        specs: List[KernelSpec] = []
+        for stage in order:
+            dependencies = [
+                DependencySpec(
+                    producer_index=index_of[edge.producer],
+                    tensor=edge.tensor,
+                    range_map=edge.range_map,
+                )
+                for edge in graph.in_edges(stage.name)
+            ]
+            specs.append(
+                KernelSpec(
+                    kernel=stage.kernel,
+                    dependencies=dependencies,
+                    strided_groups=stage.strided_groups,
+                )
+            )
+        return specs
+
+    # ------------------------------------------------------------------
+    # Execution under the three schemes (shims over repro.pipeline.run)
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        scheme: str,
+        policy: PolicySpec = "TileSync",
+        optimizations: Optional[OptimizationFlags] = None,
+        memory: Optional[GlobalMemory] = None,
+        graph: Optional[pipeline_graph.PipelineGraph] = None,
+    ) -> PipelineResult:
+        graph = graph if graph is not None else self.to_graph()
+        return run_graph(
+            graph,
+            scheme=scheme,
+            policy=policy,
+            optimizations=optimizations,
+            arch=self.arch,
+            cost_model=self.cost_model,
+            functional=self.functional and scheme != "streamk",
             memory=memory,
-            tensors=self.input_tensors() if self.functional else None,
+            tensors=self.input_tensors() if self.functional and scheme != "streamk" else None,
         )
 
+    def run_streamsync(self, memory: Optional[GlobalMemory] = None) -> PipelineResult:
+        """Execute with CUDA stream synchronization (the baseline).
+
+        .. deprecated:: build the graph once with :meth:`to_graph` and call
+           ``repro.pipeline.run(graph, scheme="streamsync", ...)``.
+        """
+        return self._run("streamsync", memory=memory)
+
     def run_streamk(self, memory: Optional[GlobalMemory] = None) -> PipelineResult:
-        """Execute with Stream-K GeMMs under stream synchronization."""
-        specs = self.build()
-        executor = StreamKExecutor(arch=self.arch, cost_model=self.cost_model)
-        items = [
-            StreamKExecutor.convert(spec.kernel, self.cost_model)
-            if isinstance(spec.kernel, GemmKernel)
-            else spec.kernel
-            for spec in specs
-        ]
-        return executor.run(items, memory=memory)
+        """Execute with Stream-K GeMMs under stream synchronization.
+
+        .. deprecated:: use ``repro.pipeline.run(graph, scheme="streamk")``.
+        """
+        return self._run("streamk", memory=memory)
 
     def run_cusync(
         self,
@@ -150,54 +199,38 @@ class Workload(ABC):
         """Execute with a cuSync pipeline under the chosen policy family.
 
         ``optimizations=None`` applies the paper's automatic W/R/T choice
-        (Section IV-C) based on the wave counts of the kernels involved.
+        (Section IV-C), derived per dependency edge from the actual
+        producer and consumer kernels.
+
+        .. deprecated:: use ``repro.pipeline.run(graph, scheme="cusync",
+           policy=..., ...)``.
         """
-        specs = self.build()
-        pipeline = CuSyncPipeline(
-            arch=self.arch, cost_model=self.cost_model, functional=self.functional
-        )
+        return self._run("cusync", policy=policy, optimizations=optimizations, memory=memory)
 
-        flags = optimizations
-        if flags is None:
-            flags = self._auto_flags(specs)
+    def _auto_flags(self, specs: List[KernelSpec]) -> Dict[str, OptimizationFlags]:
+        """Per-stage automatic W/R/T flags for a legacy spec list.
 
-        stages = []
-        for spec in specs:
-            if isinstance(policy, str):
-                stage_policy = make_policy(policy, spec)
-                stage_order = make_order(policy, spec)
-            else:
-                stage_policy = policy[len(stages)]
-                stage_order = RowMajorOrder()
-            stages.append(
-                pipeline.add_stage(
-                    spec.kernel, policy=stage_policy, order=stage_order, optimizations=flags
-                )
+        Flags are computed per dependency edge from the actual producer and
+        consumer kernels (Section IV-C) and combined per stage; see
+        :func:`repro.pipeline.executors.auto_flags`.
+        """
+        from repro.pipeline.executors import auto_flags
+
+        stages = [_stage_of(spec) for spec in specs]
+        edges = [
+            pipeline_graph.Edge(
+                producer=specs[dependency.producer_index].kernel.name,
+                consumer=spec.kernel.name,
+                tensor=dependency.tensor,
+                range_map=dependency.range_map,
             )
-        for index, spec in enumerate(specs):
-            for dependency in spec.dependencies:
-                pipeline.add_dependency(
-                    stages[dependency.producer_index],
-                    stages[index],
-                    dependency.tensor,
-                    range_map=dependency.range_map,
-                )
-        return pipeline.run(
-            memory=memory,
-            tensors=self.input_tensors() if self.functional else None,
-        )
-
-    def _auto_flags(self, specs: List[KernelSpec]) -> OptimizationFlags:
-        blocks = [spec.kernel.grid.volume for spec in specs]
-        occupancies = [spec.kernel.occupancy() for spec in specs]
-        flags = auto_optimizations(
-            producer_blocks=max(blocks),
-            consumer_blocks=max(blocks),
-            producer_occupancy=min(occupancies),
-            consumer_occupancy=min(occupancies),
-            arch=self.arch,
-        )
-        return flags
+            for spec in specs
+            for dependency in spec.dependencies
+        ]
+        graph = pipeline_graph.PipelineGraph(stages=stages, edges=edges)
+        for stage in stages:
+            stage.kernel.cost_model = self.cost_model
+        return auto_flags(graph, self.arch)
 
     # ------------------------------------------------------------------
     # Convenience for benchmarks
@@ -206,8 +239,11 @@ class Workload(ABC):
         self, policy: PolicySpec = "TileSync", optimizations: Optional[OptimizationFlags] = None
     ) -> float:
         """Fractional improvement of cuSync over StreamSync (0.1 == 10%)."""
-        baseline = self.run_streamsync().total_time_us
-        synced = self.run_cusync(policy=policy, optimizations=optimizations).total_time_us
+        graph = self.to_graph()
+        baseline = self._run("streamsync", graph=graph).total_time_us
+        synced = self._run(
+            "cusync", policy=policy, optimizations=optimizations, graph=graph
+        ).total_time_us
         return (baseline - synced) / baseline
 
     def best_policy(
@@ -215,7 +251,8 @@ class Workload(ABC):
     ) -> Dict[str, float]:
         """Run every policy family and report times (plus the baselines)."""
         policies = policies if policies is not None else ["TileSync", "RowSync"]
-        results = {"StreamSync": self.run_streamsync().total_time_us}
+        graph = self.to_graph()
+        results = {"StreamSync": self._run("streamsync", graph=graph).total_time_us}
         for family in policies:
-            results[family] = self.run_cusync(policy=family).total_time_us
+            results[family] = self._run("cusync", policy=family, graph=graph).total_time_us
         return results

@@ -1,0 +1,69 @@
+"""The declarative pipeline API: one immutable graph, pluggable backends.
+
+This package is the user-facing entry point for describing and executing a
+DAG of dependent kernels (the paper's core abstraction) without rebuilding
+kernels per run:
+
+* :class:`PipelineGraph` / :class:`StageSpec` / :class:`Edge` — the
+  immutable, validated graph description (:mod:`repro.pipeline.graph`);
+* :class:`Executor` + the ``streamsync`` / ``streamk`` / ``cusync``
+  backends (:mod:`repro.pipeline.executors`);
+* :func:`run` and :class:`Session` (with :meth:`Session.sweep`) — one-shot
+  and cached repeated execution (:mod:`repro.pipeline.session`).
+
+Quick start::
+
+    from repro.pipeline import PipelineGraph, StageSpec, Edge, Session
+
+    graph = PipelineGraph(
+        stages=[StageSpec("gemm1", producer), StageSpec("gemm2", consumer)],
+        edges=[Edge("gemm1", "gemm2", tensor="XW1")],
+    )
+    session = Session()
+    baseline = session.run(graph, scheme="streamsync")
+    synced = session.run(graph, scheme="cusync", policy="TileSync")
+"""
+
+from repro.pipeline.graph import Edge, PipelineGraph, StageSpec, linear_graph
+from repro.pipeline.executors import (
+    CuSyncBackend,
+    ExecutionContext,
+    Executor,
+    PolicySpec,
+    StageSummary,
+    StreamKBackend,
+    StreamSyncBackend,
+    auto_flags,
+    available_schemes,
+    get_executor,
+    register_executor,
+    resolve_order,
+    resolve_policy,
+    summarize_stages,
+)
+from repro.pipeline.session import Session, SweepPoint, SweepResult, run
+
+__all__ = [
+    "PipelineGraph",
+    "StageSpec",
+    "Edge",
+    "linear_graph",
+    "Executor",
+    "ExecutionContext",
+    "StreamSyncBackend",
+    "StreamKBackend",
+    "CuSyncBackend",
+    "PolicySpec",
+    "StageSummary",
+    "auto_flags",
+    "available_schemes",
+    "get_executor",
+    "register_executor",
+    "resolve_policy",
+    "resolve_order",
+    "summarize_stages",
+    "Session",
+    "SweepPoint",
+    "SweepResult",
+    "run",
+]

@@ -1,0 +1,318 @@
+"""Pluggable execution backends for :class:`~repro.pipeline.graph.PipelineGraph`.
+
+An :class:`Executor` turns the immutable graph description into one concrete
+run: it binds per-execution state (semaphores, CuStage objects, stream
+assignment, the cost model) to the graph's kernels, simulates, and unwinds.
+Three backends are registered —
+
+* ``streamsync`` — the paper's baseline: every kernel stripped of
+  fine-grained synchronization, serialized on one stream;
+* ``streamk``    — Stream-K GeMM decomposition under stream sync;
+* ``cusync``     — the cuSync pipeline under a chosen policy family.
+
+Backends never rebuild kernels: the graph's kernel objects are *re-bound*
+for each execution (their ``sync`` / ``cost_model`` / ``functional``
+execution slots are pointed at fresh per-run state, which also invalidates
+any memoized plans), so the same graph can be run under every scheme,
+policy and architecture in any order with bit-identical results.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from repro.errors import GraphValidationError, ModelConfigError, SimulationError
+from repro.gpu.arch import GpuArchitecture, TESLA_V100
+from repro.gpu.costmodel import CostModel
+from repro.gpu.memory import GlobalMemory
+from repro.baselines.streamk import StreamKExecutor
+from repro.baselines.streamsync import StreamSyncExecutor
+from repro.cusync.handle import CuSyncPipeline, PipelineResult
+from repro.cusync.optimizations import OptimizationFlags, auto_optimizations
+from repro.cusync.policies import (
+    Conv2DTileSync,
+    RowSync,
+    StridedSync,
+    SyncPolicy,
+    TileSync,
+)
+from repro.cusync.tile_orders import GroupedColumnsOrder, RowMajorOrder, TileOrder
+from repro.pipeline.graph import PipelineGraph, StageSpec
+
+#: Policy selector: a policy family name (``"TileSync"``, ``"RowSync"``,
+#: ``"Conv2DTileSync"``, ``"StridedTileSync"``) or an explicit per-stage
+#: list of policy instances in the graph's launch order.
+PolicySpec = Union[str, Sequence[SyncPolicy]]
+
+
+# ----------------------------------------------------------------------
+# Per-stage policy resolution (shared by the cusync backend and the legacy
+# Workload helpers)
+# ----------------------------------------------------------------------
+def resolve_policy(family: str, stage: StageSpec) -> SyncPolicy:
+    """Build the policy instance a named family uses for one stage.
+
+    ``StridedTileSync`` falls back to plain :class:`TileSync` when the
+    stage declares no ``strided_groups`` or its grid's x extent is not an
+    (integer) multiple of them.
+    """
+    normalized = family.lower()
+    if normalized in ("tilesync", "tile"):
+        return TileSync()
+    if normalized in ("rowsync", "row"):
+        return RowSync()
+    if normalized in ("conv2dtilesync", "conv2dtile"):
+        return Conv2DTileSync()
+    if normalized in ("stridedtilesync", "strided"):
+        if stage.strided_groups is not None:
+            grid = stage.kernel.stage_geometry().logical_grid
+            if grid.x % stage.strided_groups == 0 and grid.x > stage.strided_groups:
+                return StridedSync(stride=grid.x // stage.strided_groups)
+        return TileSync()
+    raise ModelConfigError(f"unknown synchronization policy family {family!r}")
+
+
+def resolve_order(family: str, stage: StageSpec) -> TileOrder:
+    """Tile processing order paired with a policy family for one stage."""
+    if family.lower() in ("stridedtilesync", "strided") and stage.strided_groups is not None:
+        grid = stage.kernel.stage_geometry().logical_grid
+        if grid.x % stage.strided_groups == 0 and grid.x > stage.strided_groups:
+            return GroupedColumnsOrder(group=stage.strided_groups)
+    return RowMajorOrder()
+
+
+def auto_flags(
+    graph: PipelineGraph,
+    arch: GpuArchitecture,
+    stage_summaries: Optional[Dict[str, "StageSummary"]] = None,
+) -> Dict[str, OptimizationFlags]:
+    """The automatic W/R/T choice of Section IV-C, one flag set per stage.
+
+    Flags are derived per dependency edge from the *actual* producer and
+    consumer kernels: an edge is "small" when both endpoints fit in fewer
+    than two waves.  A consumer may elide its wait-kernel (W) only when
+    every edge into it is small; a stage may skip the custom tile order (T)
+    only when every incident edge is small; reordering tile loads (R) never
+    hurts in this model and is always enabled.
+    """
+    summaries = stage_summaries if stage_summaries is not None else summarize_stages(graph)
+
+    def edge_is_small(producer: str, consumer: str) -> bool:
+        # Delegate the Section IV-C rule to the one canonical implementation;
+        # auto_optimizations elides the wait-kernel exactly when both
+        # endpoints fit in fewer than two waves.
+        return auto_optimizations(
+            producer_blocks=summaries[producer].blocks,
+            consumer_blocks=summaries[consumer].blocks,
+            producer_occupancy=summaries[producer].occupancy,
+            consumer_occupancy=summaries[consumer].occupancy,
+            arch=arch,
+        ).avoid_wait_kernel
+
+    flags: Dict[str, OptimizationFlags] = {}
+    for stage in graph.topological_order:
+        incoming = [edge_is_small(e.producer, e.consumer) for e in graph.in_edges(stage.name)]
+        outgoing = [edge_is_small(e.producer, e.consumer) for e in graph.out_edges(stage.name)]
+        flags[stage.name] = OptimizationFlags(
+            avoid_wait_kernel=all(incoming),
+            reorder_loads=True,
+            avoid_custom_tile_order=all(incoming) and all(outgoing),
+        )
+    return flags
+
+
+@dataclass(frozen=True)
+class StageSummary:
+    """Arch-dependent launch geometry of one stage, memoized by ``Session``."""
+
+    blocks: int
+    occupancy: int
+
+
+def summarize_stages(graph: PipelineGraph) -> Dict[str, StageSummary]:
+    """Per-stage block counts and occupancies.
+
+    Kernels report occupancy through their *bound* cost model, so the
+    caller must bind the target architecture's cost model first —
+    executors do this before calling,
+    :class:`~repro.pipeline.session.Session` memoizes the result per
+    ``(graph, arch)``.
+    """
+    summaries: Dict[str, StageSummary] = {}
+    for stage in graph.topological_order:
+        summaries[stage.name] = StageSummary(
+            blocks=stage.kernel.grid.volume, occupancy=stage.kernel.occupancy()
+        )
+    return summaries
+
+
+# ----------------------------------------------------------------------
+# Execution context and backend protocol
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionContext:
+    """Everything one execution of a graph depends on besides the graph."""
+
+    arch: GpuArchitecture = TESLA_V100
+    cost_model: Optional[CostModel] = None
+    functional: bool = False
+    #: Policy family (or per-stage policy list) for the cusync backend.
+    policy: PolicySpec = "TileSync"
+    #: Explicit optimization flags; ``None`` applies the automatic per-edge
+    #: W/R/T choice of Section IV-C.
+    optimizations: Optional[OptimizationFlags] = None
+    memory: Optional[GlobalMemory] = None
+    tensors: Optional[Dict[str, np.ndarray]] = None
+    #: Memoized per-arch stage geometry (filled by ``Session``).
+    stage_summaries: Optional[Dict[str, StageSummary]] = None
+
+    def resolved_cost_model(self) -> CostModel:
+        return self.cost_model if self.cost_model is not None else CostModel(arch=self.arch)
+
+
+class Executor(ABC):
+    """One way of executing a :class:`PipelineGraph` (a *scheme*)."""
+
+    #: Registry key (``streamsync`` / ``streamk`` / ``cusync`` / ...).
+    scheme: str = ""
+
+    @abstractmethod
+    def run(self, graph: PipelineGraph, ctx: ExecutionContext) -> PipelineResult:
+        """Execute ``graph`` under this scheme and return the result."""
+
+
+_EXECUTORS: Dict[str, Type[Executor]] = {}
+
+
+def register_executor(cls: Type[Executor]) -> Type[Executor]:
+    """Register an executor class under its ``scheme`` name (decorator)."""
+    if not cls.scheme:
+        raise GraphValidationError(f"executor {cls.__name__} declares no scheme name")
+    _EXECUTORS[cls.scheme] = cls
+    return cls
+
+
+def get_executor(scheme: str) -> Executor:
+    """Instantiate the backend registered for ``scheme``."""
+    normalized = scheme.lower()
+    cls = _EXECUTORS.get(normalized)
+    if cls is None:
+        raise GraphValidationError(
+            f"unknown execution scheme {scheme!r}; available: {', '.join(available_schemes())}"
+        )
+    return cls()
+
+
+def available_schemes() -> List[str]:
+    return sorted(_EXECUTORS)
+
+
+# ----------------------------------------------------------------------
+# The three paper backends
+# ----------------------------------------------------------------------
+@register_executor
+class StreamSyncBackend(Executor):
+    """CUDA stream synchronization: the paper's baseline."""
+
+    scheme = "streamsync"
+
+    def run(self, graph: PipelineGraph, ctx: ExecutionContext) -> PipelineResult:
+        executor = StreamSyncExecutor(
+            arch=ctx.arch, cost_model=ctx.resolved_cost_model(), functional=ctx.functional
+        )
+        return executor.run(list(graph.kernels), memory=ctx.memory, tensors=ctx.tensors)
+
+
+@register_executor
+class StreamKBackend(Executor):
+    """Stream-K GeMM decomposition under stream synchronization."""
+
+    scheme = "streamk"
+
+    def run(self, graph: PipelineGraph, ctx: ExecutionContext) -> PipelineResult:
+        if ctx.functional:
+            raise SimulationError(
+                "the streamk backend models timing only: Stream-K partial-tile "
+                "accumulation order is not reproduced numerically, so functional "
+                "simulation is not supported under scheme='streamk'"
+            )
+        cost_model = ctx.resolved_cost_model()
+        executor = StreamKExecutor(arch=ctx.arch, cost_model=cost_model)
+        # Stream-K variants are per-execution derivations (they re-partition
+        # the K dimension for the target arch); the graph's own kernels are
+        # left untouched.
+        items = [StreamKExecutor.convert(kernel, cost_model) for kernel in graph.kernels]
+        return executor.run(items, memory=ctx.memory, tensors=ctx.tensors)
+
+
+@register_executor
+class CuSyncBackend(Executor):
+    """Fine-grained tile synchronization: the paper's cuSync pipelines.
+
+    Per execution this backend materializes the binding layer — a
+    :class:`~repro.cusync.handle.CuSyncPipeline` holding fresh
+    :class:`~repro.cusync.custage.CuStage` objects, stream assignments and
+    semaphore allocations — wires it from the graph's edges, and runs it.
+    The binding is discarded afterwards; the graph and its kernels survive
+    unchanged for the next run.
+    """
+
+    scheme = "cusync"
+
+    def run(self, graph: PipelineGraph, ctx: ExecutionContext) -> PipelineResult:
+        cost_model = ctx.resolved_cost_model()
+        # Bind this run's cost model before any occupancy is derived: the
+        # automatic flag selection below reads kernel.occupancy(), which
+        # must reflect ctx.arch, not whatever architecture the kernel was
+        # constructed (or last run) with.
+        for stage in graph.topological_order:
+            stage.kernel.cost_model = cost_model
+        pipeline = CuSyncPipeline(
+            arch=ctx.arch, cost_model=cost_model, functional=ctx.functional
+        )
+
+        shared_flags: Optional[OptimizationFlags] = ctx.optimizations
+        per_stage_flags: Optional[Dict[str, OptimizationFlags]] = None
+        if shared_flags is None:
+            per_stage_flags = auto_flags(graph, ctx.arch, ctx.stage_summaries)
+
+        policy = ctx.policy
+        if not isinstance(policy, str) and len(policy) != len(graph):
+            raise GraphValidationError(
+                f"per-stage policy list has {len(policy)} entries but the graph "
+                f"has {len(graph)} stages (launch order: {', '.join(graph.stage_names)})"
+            )
+        stages: Dict[str, object] = {}
+        for index, stage in enumerate(graph.topological_order):
+            if isinstance(policy, str):
+                stage_policy = stage.policy if stage.policy is not None else resolve_policy(policy, stage)
+                stage_order = stage.order if stage.order is not None else resolve_order(policy, stage)
+            else:
+                stage_policy = policy[index]
+                stage_order = stage.order if stage.order is not None else RowMajorOrder()
+            if stage.optimizations is not None:
+                flags = stage.optimizations
+            elif shared_flags is not None:
+                flags = shared_flags
+            else:
+                flags = per_stage_flags[stage.name]
+            stages[stage.name] = pipeline.add_stage(
+                stage.kernel,
+                policy=stage_policy,
+                order=stage_order,
+                optimizations=flags,
+                name=stage.name,
+            )
+        for stage in graph.topological_order:
+            for edge in graph.in_edges(stage.name):
+                pipeline.add_dependency(
+                    stages[edge.producer],
+                    stages[edge.consumer],
+                    edge.tensor,
+                    range_map=edge.range_map,
+                )
+        return pipeline.run(memory=ctx.memory, tensors=ctx.tensors)

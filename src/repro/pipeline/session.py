@@ -1,0 +1,321 @@
+"""One-shot :func:`run` and the reusable :class:`Session`.
+
+``run(graph, scheme=..., policy=...)`` executes an immutable
+:class:`~repro.pipeline.graph.PipelineGraph` once.  A :class:`Session` is
+the stateful companion for repeated execution: it caches one
+:class:`~repro.gpu.costmodel.CostModel` per architecture and memoizes the
+per-arch stage geometry (block counts and occupancies) that the automatic
+W/R/T flag selection needs, so sweeping a graph over many
+``(scheme, policy, arch)`` points re-derives nothing per point and never
+rebuilds a kernel.
+
+:meth:`Session.sweep` fans those points out over ``concurrent.futures``
+worker processes when the graph is picklable (graphs whose range maps are
+module-level functions are; ad-hoc closures fall back to the serial path),
+and returns lightweight :class:`SweepResult` records either way — the
+results are identical to a serial loop because the simulator is
+deterministic and every point runs on an independent binding.
+"""
+
+from __future__ import annotations
+
+import pickle
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.gpu.arch import GpuArchitecture, TESLA_V100
+from repro.gpu.costmodel import CostModel
+from repro.gpu.memory import GlobalMemory
+from repro.cusync.handle import PipelineResult
+from repro.cusync.optimizations import OptimizationFlags
+from repro.pipeline.executors import (
+    ExecutionContext,
+    PolicySpec,
+    StageSummary,
+    get_executor,
+    summarize_stages,
+)
+from repro.pipeline.graph import PipelineGraph
+
+
+def run(
+    graph: PipelineGraph,
+    scheme: str = "cusync",
+    policy: PolicySpec = "TileSync",
+    optimizations: Optional[OptimizationFlags] = None,
+    arch: GpuArchitecture = TESLA_V100,
+    cost_model: Optional[CostModel] = None,
+    functional: bool = False,
+    memory: Optional[GlobalMemory] = None,
+    tensors: Optional[Dict[str, np.ndarray]] = None,
+) -> PipelineResult:
+    """Execute ``graph`` once under ``scheme``.
+
+    ``policy`` and ``optimizations`` only apply to the ``cusync`` scheme;
+    ``optimizations=None`` selects the automatic per-edge W/R/T flags
+    (Section IV-C).  The graph is never mutated and its kernels are never
+    rebuilt — run the same graph again under any other configuration.
+    """
+    ctx = ExecutionContext(
+        arch=arch,
+        cost_model=cost_model,
+        functional=functional,
+        policy=policy,
+        optimizations=optimizations,
+        memory=memory,
+        tensors=tensors,
+    )
+    return get_executor(scheme).run(graph, ctx)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of a sweep: ``(scheme, policy, arch)``."""
+
+    scheme: str
+    policy: Optional[str]
+    arch: GpuArchitecture
+
+    def label(self) -> str:
+        policy = f":{self.policy}" if self.policy else ""
+        return f"{self.scheme}{policy}@{self.arch.name}"
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one sweep point, small enough to cross process boundaries."""
+
+    scheme: str
+    policy: Optional[str]
+    arch_name: str
+    total_time_us: float
+    total_wait_time_us: float
+    kernel_durations_us: Tuple[Tuple[str, float], ...]
+
+    def duration_of(self, kernel_name: str) -> float:
+        return dict(self.kernel_durations_us)[kernel_name]
+
+
+def _sweep_point_result(
+    graph: PipelineGraph,
+    point: SweepPoint,
+    cost_model: Optional[CostModel] = None,
+    stage_summaries: Optional[Dict[str, StageSummary]] = None,
+) -> SweepResult:
+    """Evaluate one sweep point (always timing-only, never functional).
+
+    ``cost_model`` / ``stage_summaries`` are optional memoized inputs the
+    serial path passes from the session's caches; workers pass neither and
+    derive both fresh.  Either way the values are identical (cost models
+    for one arch are equal-valued, stage summaries are deterministic), so
+    parallel and serial sweeps agree bit for bit.
+    """
+    ctx = ExecutionContext(
+        arch=point.arch,
+        cost_model=cost_model,
+        functional=False,
+        policy=point.policy if point.policy is not None else "TileSync",
+        stage_summaries=stage_summaries if point.scheme == "cusync" else None,
+    )
+    result = get_executor(point.scheme).run(graph, ctx)
+    trace = result.simulation.trace
+    return SweepResult(
+        scheme=point.scheme,
+        policy=point.policy,
+        arch_name=point.arch.name,
+        total_time_us=result.total_time_us,
+        total_wait_time_us=result.total_wait_time_us(),
+        kernel_durations_us=tuple(
+            (name, stats.duration_us) for name, stats in sorted(trace.kernels.items())
+        ),
+    )
+
+
+def _sweep_worker(payload: Tuple[PipelineGraph, SweepPoint, Optional[CostModel]]) -> SweepResult:
+    """Top-level worker entry point (must be picklable by name)."""
+    graph, point, cost_model = payload
+    return _sweep_point_result(graph, point, cost_model=cost_model)
+
+
+class Session:
+    """Reusable execution context: cached cost models, memoized geometry.
+
+    A session binds no state to any graph; it only remembers derived,
+    read-only facts (one cost model per architecture, per-arch stage
+    summaries per graph) so repeated :meth:`run` calls and :meth:`sweep`
+    points skip redundant derivation.
+    """
+
+    def __init__(
+        self,
+        arch: GpuArchitecture = TESLA_V100,
+        functional: bool = False,
+        cost_model: Optional[CostModel] = None,
+    ) -> None:
+        self.arch = arch
+        self.functional = functional
+        #: One cost model per architecture, keyed by object identity (two
+        #: distinct arch objects with equal fields get equal cost models,
+        #: so identity keying is only a cache-efficiency concern).  The key
+        #: objects are stored in the values: holding them alive guarantees
+        #: an id() is never recycled while its entry exists (a session sees
+        #: a handful of small arch objects, so the retention is trivial).
+        self._cost_models: Dict[int, Tuple[GpuArchitecture, CostModel]] = {}
+        #: Memoized stage geometry: graph -> {id(arch): (arch, summaries)}.
+        #: Weakly keyed so a session that churns through many graphs (an
+        #: autotuning loop, the bench harness) does not pin every dead
+        #: graph and its kernels in memory.
+        self._stage_summaries: "weakref.WeakKeyDictionary[PipelineGraph, Dict[int, Tuple[GpuArchitecture, Dict[str, StageSummary]]]]" = (
+            weakref.WeakKeyDictionary()
+        )
+        if cost_model is not None:
+            # A custom (e.g. calibrated) cost model for the session's own
+            # architecture; other arches still get equal-valued defaults.
+            self._cost_models[id(arch)] = (arch, cost_model)
+
+    # ------------------------------------------------------------------
+    def cost_model(self, arch: Optional[GpuArchitecture] = None) -> CostModel:
+        """The session's cached cost model for ``arch`` (default: session arch)."""
+        arch = arch if arch is not None else self.arch
+        entry = self._cost_models.get(id(arch))
+        if entry is None:
+            entry = (arch, CostModel(arch=arch))
+            self._cost_models[id(arch)] = entry
+        return entry[1]
+
+    def stage_summaries(
+        self, graph: PipelineGraph, arch: Optional[GpuArchitecture] = None
+    ) -> Dict[str, StageSummary]:
+        """Memoized per-arch block counts / occupancies for ``graph``."""
+        arch = arch if arch is not None else self.arch
+        per_arch = self._stage_summaries.setdefault(graph, {})
+        entry = per_arch.get(id(arch))
+        if entry is None:
+            cost_model = self.cost_model(arch)
+            for stage in graph.topological_order:
+                stage.kernel.cost_model = cost_model
+            entry = (arch, summarize_stages(graph))
+            per_arch[id(arch)] = entry
+        return entry[1]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        graph: PipelineGraph,
+        scheme: str = "cusync",
+        policy: PolicySpec = "TileSync",
+        optimizations: Optional[OptimizationFlags] = None,
+        arch: Optional[GpuArchitecture] = None,
+        memory: Optional[GlobalMemory] = None,
+        tensors: Optional[Dict[str, np.ndarray]] = None,
+    ) -> PipelineResult:
+        """Execute ``graph`` once, reusing the session's cached state."""
+        arch = arch if arch is not None else self.arch
+        ctx = ExecutionContext(
+            arch=arch,
+            cost_model=self.cost_model(arch),
+            functional=self.functional,
+            policy=policy,
+            optimizations=optimizations,
+            memory=memory,
+            tensors=tensors,
+            stage_summaries=self.stage_summaries(graph, arch) if scheme == "cusync" else None,
+        )
+        return get_executor(scheme).run(graph, ctx)
+
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        graph: PipelineGraph,
+        policies: Sequence[str] = ("TileSync",),
+        arches: Optional[Sequence[GpuArchitecture]] = None,
+        schemes: Sequence[str] = ("cusync",),
+        workers: Optional[int] = None,
+    ) -> List[SweepResult]:
+        """Run every ``(scheme, policy, arch)`` point of a sweep.
+
+        Non-cusync schemes ignore the policy axis (they contribute one
+        point per arch).  ``workers=0`` forces the serial in-process path;
+        ``workers=None`` picks a process count automatically.  Results are
+        returned in point order and are identical to a serial loop: both
+        paths evaluate every point through the same
+        :func:`_sweep_point_result`, each point on an independent per-run
+        binding (worker processes operate on pickled copies of the graph).
+
+        Sweeps measure timing only — functional simulation needs per-run
+        input tensors and is not part of the point grid; use :meth:`run`
+        with ``tensors=...`` for functional checks.
+        """
+        if self.functional:
+            raise SimulationError(
+                "Session.sweep measures timing only; run functional points "
+                "individually with Session.run(graph, ..., tensors=...)"
+            )
+        arches = tuple(arches) if arches is not None else (self.arch,)
+        points: List[SweepPoint] = []
+        for arch in arches:
+            for scheme in schemes:
+                if scheme == "cusync":
+                    for policy in policies:
+                        points.append(SweepPoint(scheme=scheme, policy=policy, arch=arch))
+                else:
+                    points.append(SweepPoint(scheme=scheme, policy=None, arch=arch))
+
+        if workers != 0 and len(points) > 1:
+            payloads = self._picklable_payloads(graph, points, self.cost_model)
+            if payloads is not None:
+                max_workers = workers if workers is not None else min(8, len(points))
+                pool_usable = True
+                with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                    try:
+                        # Probe that worker processes actually start (some
+                        # sandboxes forbid them); after a successful probe,
+                        # genuine worker crashes propagate to the caller
+                        # instead of silently re-running serially.
+                        pool.submit(int, 0).result()
+                    except (OSError, RuntimeError):
+                        pool_usable = False
+                    if pool_usable:
+                        return list(pool.map(_sweep_worker, payloads))
+        return [
+            _sweep_point_result(
+                graph,
+                point,
+                cost_model=self.cost_model(point.arch),
+                stage_summaries=(
+                    self.stage_summaries(graph, point.arch) if point.scheme == "cusync" else None
+                ),
+            )
+            for point in points
+        ]
+
+    @staticmethod
+    def _picklable_payloads(
+        graph: PipelineGraph,
+        points: List[SweepPoint],
+        cost_model_for=None,
+    ) -> Optional[List[Tuple[PipelineGraph, SweepPoint, Optional[CostModel]]]]:
+        """Payloads for the process pool, or ``None`` if the graph cannot cross.
+
+        Graphs whose kernels hold ad-hoc closures (locally defined range
+        maps or transforms) cannot be pickled; sweeps of those graphs run
+        serially in-process, which produces the same results.  Each payload
+        carries the point's cost model so workers compute with exactly the
+        values the serial path would use.
+        """
+        if not points:
+            return []
+        payloads = [
+            (graph, point, cost_model_for(point.arch) if cost_model_for is not None else None)
+            for point in points
+        ]
+        try:
+            pickle.dumps(payloads[0])
+        except Exception:
+            return None
+        return payloads

@@ -1,0 +1,152 @@
+"""Acceptance tests for the execution layer: one graph, many runs.
+
+The core guarantee of the PipelineGraph API: a graph built once is run
+under all three schemes and multiple policy families without rebuilding
+kernels (object identity is preserved across runs), and every run is
+bit-identical to the legacy ``Workload.run_*`` paths, which rebuild
+kernels from scratch.
+"""
+
+import pytest
+
+from repro.gpu.arch import TESLA_V100
+from repro.models import Attention, GptMlp, TransformerConfig
+from repro.pipeline import Session, run
+
+TINY = TransformerConfig(name="tiny", hidden=256, layers=2, tensor_parallel=8)
+
+
+@pytest.fixture
+def workload():
+    return GptMlp(config=TINY, batch_seq=96)
+
+
+class TestGraphReuseAcrossSchemes:
+    def test_one_graph_all_schemes_without_kernel_rebuilds(self, workload):
+        """The acceptance criterion: identity-stable kernels, bit-identical times."""
+        graph = workload.to_graph()
+        kernel_ids = [id(kernel) for kernel in graph.kernels]
+
+        # Run the *same* graph under all three schemes and two policy
+        # families (and one scheme twice, to prove reruns are clean).
+        points = [
+            ("streamsync", None),
+            ("cusync", "TileSync"),
+            ("cusync", "RowSync"),
+            ("streamk", None),
+            ("cusync", "TileSync"),
+        ]
+        times = {}
+        for scheme, policy in points:
+            result = run(
+                graph,
+                scheme=scheme,
+                policy=policy if policy is not None else "TileSync",
+                arch=workload.arch,
+                cost_model=workload.cost_model,
+            )
+            times[(scheme, policy)] = result.total_time_us
+
+        # Kernel objects were never rebuilt or replaced.
+        assert [id(kernel) for kernel in graph.kernels] == kernel_ids
+
+        # Rerunning a point on the reused graph is deterministic.
+        rerun = run(
+            graph, scheme="cusync", policy="TileSync",
+            arch=workload.arch, cost_model=workload.cost_model,
+        )
+        assert rerun.total_time_us == times[("cusync", "TileSync")]
+
+        # Bit-identical to the legacy paths, which rebuild kernels per run.
+        legacy = GptMlp(config=TINY, batch_seq=96)
+        assert legacy.run_streamsync().total_time_us == times[("streamsync", None)]
+        assert legacy.run_streamk().total_time_us == times[("streamk", None)]
+        assert legacy.run_cusync(policy="TileSync").total_time_us == times[("cusync", "TileSync")]
+        assert legacy.run_cusync(policy="RowSync").total_time_us == times[("cusync", "RowSync")]
+
+    def test_results_independent_of_run_order(self, workload):
+        graph_a = workload.to_graph()
+        graph_b = GptMlp(config=TINY, batch_seq=96).to_graph()
+
+        a_stream = run(graph_a, scheme="streamsync").total_time_us
+        a_cusync = run(graph_a, scheme="cusync", policy="RowSync").total_time_us
+
+        b_cusync = run(graph_b, scheme="cusync", policy="RowSync").total_time_us
+        b_stream = run(graph_b, scheme="streamsync").total_time_us
+
+        assert a_stream == b_stream
+        assert a_cusync == b_cusync
+
+    def test_rerun_on_different_arch_is_deterministic(self, workload, small_arch):
+        """Auto flags must derive occupancy from the run's arch, so the
+        first run on a new architecture matches every rerun bit for bit."""
+        graph = workload.to_graph()
+        run(graph, scheme="cusync", policy="TileSync", arch=workload.arch)
+        first = run(graph, scheme="cusync", policy="TileSync", arch=small_arch).total_time_us
+        second = run(graph, scheme="cusync", policy="TileSync", arch=small_arch).total_time_us
+        assert first == second
+
+    def test_session_memoizes_and_matches_one_shot_run(self, workload):
+        session = Session(arch=workload.arch)
+        graph = workload.to_graph()
+        first = session.run(graph, scheme="cusync", policy="TileSync").total_time_us
+        # Memoized stage summaries are reused on the second run.
+        assert graph in session._stage_summaries
+        second = session.run(graph, scheme="cusync", policy="TileSync").total_time_us
+        assert first == second
+        one_shot = run(graph, scheme="cusync", policy="TileSync", arch=workload.arch)
+        assert one_shot.total_time_us == first
+
+
+class TestSweep:
+    def test_sweep_matches_serial_loop(self, workload):
+        graph = workload.to_graph()
+        policies = ("TileSync", "RowSync")
+        schemes = ("streamsync", "cusync")
+
+        parallel = Session(arch=workload.arch).sweep(
+            graph, policies=policies, schemes=schemes, workers=2
+        )
+        serial = Session(arch=workload.arch).sweep(
+            graph, policies=policies, schemes=schemes, workers=0
+        )
+        assert parallel == serial
+        assert len(serial) == 3  # streamsync + one point per policy
+        assert {r.policy for r in serial} == {None, "TileSync", "RowSync"}
+        for record in serial:
+            assert record.total_time_us > 0.0
+            assert record.arch_name == workload.arch.name
+
+    def test_sweep_over_arches(self, workload, small_arch):
+        graph = workload.to_graph()
+        arches = (workload.arch, small_arch)
+        results = Session(arch=workload.arch).sweep(
+            graph, policies=("TileSync",), arches=arches, workers=0
+        )
+        assert [r.arch_name for r in results] == [workload.arch.name, small_arch.name]
+        # Different architectures give different simulated times (the 8-SM
+        # test GPU has different wave structure and zero launch latency).
+        assert results[0].total_time_us != results[1].total_time_us
+
+    def test_sweep_with_unpicklable_graph_falls_back_serial(self):
+        """Attention graphs carry closure range-maps and cannot cross
+        process boundaries; the sweep must transparently run serially."""
+        from repro.pipeline.session import SweepPoint
+
+        workload = Attention(config=TINY, batch=1, seq=64)
+        graph = workload.to_graph()
+        point = SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
+        assert Session._picklable_payloads(graph, [point]) is None  # closures don't pickle
+        results = Session(arch=workload.arch).sweep(
+            graph, policies=("TileSync", "StridedTileSync"), workers=2
+        )
+        serial = Session(arch=workload.arch).sweep(
+            graph, policies=("TileSync", "StridedTileSync"), workers=0
+        )
+        assert results == serial
+
+    def test_sweep_point_labels(self, workload):
+        from repro.pipeline.session import SweepPoint
+
+        point = SweepPoint(scheme="cusync", policy="RowSync", arch=TESLA_V100)
+        assert point.label() == f"cusync:RowSync@{TESLA_V100.name}"

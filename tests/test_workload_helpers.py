@@ -104,4 +104,6 @@ class TestWorkloadPolicyHelpers:
     def test_auto_flags_for_small_workload(self):
         workload = GptMlp(config=TINY, batch_seq=96)
         flags = workload._auto_flags(workload.build())
-        assert flags.avoid_wait_kernel and flags.reorder_loads
+        assert set(flags) == {"mlp_gemm1", "mlp_gemm2"}
+        for stage_flags in flags.values():
+            assert stage_flags.avoid_wait_kernel and stage_flags.reorder_loads
