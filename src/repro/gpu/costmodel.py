@@ -17,7 +17,7 @@ deliberately small and fully deterministic.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.common.validation import check_non_negative, check_positive
 from repro.gpu.arch import GpuArchitecture, TESLA_V100
@@ -48,9 +48,14 @@ class CostModel:
     #: L2 contention, scheduler jitter); stream synchronization must wait
     #: for the slowest block of the producer while fine-grained
     #: synchronization only waits for the tiles it needs, so this spread is
-    #: part of what cuSync recovers.  The factor is a hash of the kernel
-    #: name and block index, so runs are exactly reproducible.
+    #: part of what cuSync recovers.  The spread derives from one blake2b
+    #: digest of the kernel name (computed once per kernel and cached)
+    #: mixed with the block index by a cheap integer finalizer, so runs are
+    #: exactly reproducible without hashing per block.
     duration_jitter: float = 0.12
+    #: Memoized per-kernel jitter seeds (one blake2b digest per kernel
+    #: launch name); pure internal cache, excluded from init/equality/repr.
+    _jitter_seeds: dict = field(default_factory=dict, init=False, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Generic roofline pieces
@@ -159,14 +164,35 @@ class CostModel:
         """Device-side gap between back-to-back kernels on one stream."""
         return self.arch.kernel_dispatch_latency_us
 
+    def jitter_seed(self, kernel_name: str) -> int:
+        """The per-kernel 64-bit jitter seed (one blake2b digest, memoized).
+
+        The simulator dispatches every block of a launch through
+        :meth:`block_duration_factor`; hashing per block made the digest a
+        measurable share of dispatch time, so the cryptographic hash runs
+        once per kernel name and a cheap integer mixer spreads it across
+        block indices.
+        """
+        seed = self._jitter_seeds.get(kernel_name)
+        if seed is None:
+            digest = hashlib.blake2b(kernel_name.encode(), digest_size=8).digest()
+            seed = int.from_bytes(digest, "little")
+            self._jitter_seeds[kernel_name] = seed
+        return seed
+
     def block_duration_factor(self, kernel_name: str, dispatch_index: int) -> float:
         """Deterministic per-block duration multiplier in ``[1, 1 + jitter)``."""
         if self.duration_jitter <= 0.0:
             return 1.0
-        digest = hashlib.blake2b(
-            f"{kernel_name}:{dispatch_index}".encode(), digest_size=4
-        ).digest()
-        fraction = int.from_bytes(digest, "little") / 2 ** 32
+        # splitmix64 finalizer over (seed + golden-ratio stride * index):
+        # well-distributed 64-bit mixing with three shift-xor-multiply
+        # rounds, far cheaper than a per-block blake2b digest.
+        mask = 0xFFFFFFFFFFFFFFFF
+        z = (self.jitter_seed(kernel_name) + dispatch_index * 0x9E3779B97F4A7C15) & mask
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+        z ^= z >> 31
+        fraction = (z >> 32) / 2 ** 32
         return 1.0 + self.duration_jitter * fraction
 
     # ------------------------------------------------------------------
