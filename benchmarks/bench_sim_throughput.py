@@ -13,12 +13,18 @@ defend.  Two numbers are recorded:
 * ``table4_mlp_s`` — wall time of one full :func:`table4_mlp` regeneration,
   the end-to-end workload the hot-path overhaul was profiled on.
 
-Results are written to ``BENCH_sim_throughput.json`` in the repository root
-(override with the ``BENCH_SIM_THROUGHPUT_OUT`` environment variable).
+``BENCH_sim_throughput.json`` in the repository root is the **committed
+baseline**.  A plain run refreshes it (do this deliberately, on the
+machine whose numbers you want to pin); ``--check-baseline`` and the
+pytest path instead write ``BENCH_sim_throughput.latest.json`` (ignored)
+and — for the flag — gate the fresh numbers against the committed
+baseline with a :data:`BASELINE_TOLERANCE` slack, exiting non-zero on a
+step-function regression.  Override the output path with the
+``BENCH_SIM_THROUGHPUT_OUT`` environment variable.
 
 Run standalone::
 
-    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py [--check-baseline]
 
 or through pytest (``pytest benchmarks/bench_sim_throughput.py``).
 """
@@ -43,6 +49,9 @@ SYNTHETIC_GRID = Dim3(48, 80, 1)
 REPEATS = 3
 
 DEFAULT_OUTPUT = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_sim_throughput.json")
+#: Non-destructive output used by the pytest path and ``--check-baseline``,
+#: so measuring never silently rewrites the committed baseline.
+LATEST_OUTPUT = DEFAULT_OUTPUT.replace(".json", ".latest.json")
 
 
 def _linear(tile: Dim3) -> int:
@@ -112,9 +121,41 @@ def run_benchmark(output_path: str = "") -> Dict[str, float]:
     return record
 
 
+#: Tolerated slowdown vs the committed baseline before the gate fails.
+#: CI runners differ from the machine that recorded the baseline, so the
+#: gate only catches step-function regressions (a 2x slowdown), not noise.
+BASELINE_TOLERANCE = 2.0
+
+
+def compare_against_baseline(
+    record: Dict[str, float],
+    baseline: Dict[str, float],
+    tolerance: float = BASELINE_TOLERANCE,
+) -> List[str]:
+    """Failures of ``record`` against the committed baseline (empty = pass).
+
+    ``blocks_per_sec`` may not drop below ``baseline / tolerance`` and
+    ``table4_mlp_s`` may not grow past ``baseline * tolerance``.
+    """
+    failures: List[str] = []
+    floor = baseline["blocks_per_sec"] / tolerance
+    if record["blocks_per_sec"] < floor:
+        failures.append(
+            f"blocks_per_sec {record['blocks_per_sec']:,.0f} fell below "
+            f"{floor:,.0f} (baseline {baseline['blocks_per_sec']:,.0f} / {tolerance}x tolerance)"
+        )
+    ceiling = baseline["table4_mlp_s"] * tolerance
+    if record["table4_mlp_s"] > ceiling:
+        failures.append(
+            f"table4_mlp_s {record['table4_mlp_s']:.3f} exceeded "
+            f"{ceiling:.3f} (baseline {baseline['table4_mlp_s']:.3f} * {tolerance}x tolerance)"
+        )
+    return failures
+
+
 def test_sim_throughput(capsys=None):
     """Smoke check: the simulator sustains a sane block throughput."""
-    record = run_benchmark()
+    record = run_benchmark(output_path=LATEST_OUTPUT)
     print()
     print(f"simulator throughput: {record['blocks_per_sec']:,.0f} blocks/sec")
     print(f"table4_mlp regeneration: {record['table4_mlp_s']:.3f} s")
@@ -124,6 +165,31 @@ def test_sim_throughput(capsys=None):
     assert record["table4_mlp_s"] < 10.0
 
 
-if __name__ == "__main__":
-    result = run_benchmark()
+def main(argv: List[str]) -> int:
+    check = "--check-baseline" in argv
+    baseline = None
+    if check:
+        with open(DEFAULT_OUTPUT) as handle:
+            baseline = json.load(handle)
+    # A plain run refreshes the committed baseline; the gated run records
+    # its measurement next to it instead (the baseline stays authoritative).
+    result = run_benchmark(output_path=LATEST_OUTPUT if check else "")
     print(json.dumps(result, indent=1, sort_keys=True))
+    if baseline is not None:
+        failures = compare_against_baseline(result, baseline)
+        if failures:
+            print("throughput regression vs committed BENCH_sim_throughput.json:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(
+            f"baseline gate ok: {result['blocks_per_sec']:,.0f} blocks/sec vs "
+            f"committed {baseline['blocks_per_sec']:,.0f} (tolerance {BASELINE_TOLERANCE}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

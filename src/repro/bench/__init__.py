@@ -18,6 +18,7 @@ from repro.bench.experiments import (
     figure7_conv,
     figure8_end_to_end,
     overhead_experiment,
+    policy_ablation,
 )
 
 __all__ = [
@@ -32,4 +33,5 @@ __all__ = [
     "figure7_conv",
     "figure8_end_to_end",
     "overhead_experiment",
+    "policy_ablation",
 ]

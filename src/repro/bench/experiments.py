@@ -25,9 +25,9 @@ from repro.kernels import elementwise as elementwise_module
 from repro.kernels import gemm as gemm_module
 from repro.kernels import softmax_dropout as softmax_module
 from repro.kernels.elementwise import CopyKernel, CopyProblem
-from repro.cusync import OptimizationFlags, TileSync
+from repro.cusync import OptimizationFlags, PolicyAssignment, TileSync
 from repro.cusync.optimizations import decorate_policy_name
-from repro.pipeline import Edge, PipelineGraph, Session, StageSpec
+from repro.pipeline import Edge, PipelineGraph, Session, StageSpec, SweepPoint, sweep_policies
 from repro.models.attention import Attention
 from repro.models.config import GPT3_145B, LLAMA_65B, RESNET38_LAYERS, VGG19_LAYERS, resnet38_config, vgg19_config
 from repro.models.conv_layers import ConvChain
@@ -333,6 +333,104 @@ def figure8_end_to_end(
                         "reduction": estimate.improvement,
                     }
                 )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Policy-space ablation — uniform families vs mixed per-edge assignments
+# ----------------------------------------------------------------------
+def policy_ablation(
+    arch: GpuArchitecture = TESLA_V100,
+    batch_seq: int = 512,
+    seq: int = 512,
+    conv_batch: int = 1,
+    conv_channels: int = 256,
+) -> List[Dict[str, object]]:
+    """Compare synchronization policies — including mixed per-edge
+    assignments — across the five model workloads.
+
+    This experiment exercises the first-class policy API end to end: every
+    workload's graph is built once, uniform family points come from
+    :func:`repro.pipeline.sweep_policies`, mixed points are hand-written
+    :class:`~repro.cusync.PolicyAssignment` grids (e.g. the attention
+    QKV → scores edge under ``StridedTileSync`` while its sibling
+    softmax → values edge uses ``RowSync``), and the whole multi-graph
+    batch is evaluated by **one** ``Session.sweep`` call in thread mode
+    (the attention and LLaMA graphs carry closure range maps, so the
+    thread pool is what makes this batch concurrent).
+
+    Returns one row per (workload, policy) with the improvement over that
+    workload's StreamSync baseline.
+    """
+    resnet_spec = {spec.channels: spec for spec in RESNET38_LAYERS}[conv_channels]
+    vgg_spec = {spec.channels: spec for spec in VGG19_LAYERS}[conv_channels]
+    workloads: List[Tuple[Workload, Tuple[str, ...]]] = [
+        (GptMlp(config=GPT3_145B, batch_seq=batch_seq, arch=arch), ("TileSync", "RowSync")),
+        (
+            LlamaMlp(config=LLAMA_65B, batch_seq=batch_seq, arch=arch),
+            ("TileSync", "RowSync", "StridedTileSync"),
+        ),
+        (
+            Attention(config=GPT3_145B, batch=1, seq=seq, cached=0, arch=arch),
+            LLM_POLICIES,
+        ),
+        (ConvChain(resnet_spec, batch=conv_batch, arch=arch), CONV_POLICIES),
+        (ConvChain(vgg_spec, batch=conv_batch, arch=arch), CONV_POLICIES),
+    ]
+
+    def mixed_assignment(graph: PipelineGraph) -> Optional[PolicyAssignment]:
+        """A representative per-edge mix for each workload family."""
+        name = graph.name or ""
+        edges = [(edge.producer, edge.consumer, edge.tensor) for edge in graph.edges]
+        if not edges:
+            return None
+        if name.startswith("attn"):
+            return PolicyAssignment(
+                default="TileSync",
+                edges={
+                    ("attn_qkv", "attn_scores"): "StridedTileSync",
+                    ("attn_softmax", "attn_values", "R"): "RowSync",
+                },
+            )
+        if name.startswith("llama_mlp"):
+            return PolicyAssignment(default="RowSync", edges={edges[0]: "StridedTileSync"})
+        if name.startswith("conv_chain"):
+            return PolicyAssignment(
+                default="Conv2DTileSync", edges={edges[len(edges) // 2]: "RowSync"}
+            )
+        return PolicyAssignment(default="TileSync", edges={edges[0]: "RowSync"})
+
+    session = Session(arch=arch)
+    work: List[Tuple[PipelineGraph, SweepPoint]] = []
+    for workload, families in workloads:
+        graph = workload.to_graph()
+        work.append((graph, SweepPoint(scheme="streamsync", policy=None, arch=arch)))
+        work.extend(sweep_policies(graph, families, arches=(arch,)))
+        mixed = mixed_assignment(graph)
+        if mixed is not None:
+            work.append((graph, SweepPoint(scheme="cusync", policy=mixed, arch=arch)))
+
+    results = session.sweep(work, mode="thread")
+    baselines = {
+        result.graph_label: result.total_time_us
+        for result in results
+        if result.scheme == "streamsync"
+    }
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        baseline = baselines[result.graph_label]
+        label = result.policy_label if result.scheme == "cusync" else result.scheme
+        mixed_point = isinstance(result.policy, PolicyAssignment) and bool(result.policy.edges)
+        rows.append(
+            {
+                "workload": result.graph_label,
+                "policy": label,
+                "mixed": mixed_point,
+                "total_time_us": result.total_time_us,
+                "wait_time_us": result.total_wait_time_us,
+                "improvement": (baseline - result.total_time_us) / baseline,
+            }
+        )
     return rows
 
 

@@ -23,6 +23,14 @@ from repro.cusync.policies import (
     StridedSync,
     Conv2DTileSync,
     BatchSync,
+    PolicySpec,
+    PolicyContext,
+    PolicyAssignment,
+    register_policy,
+    unregister_policy,
+    registered_policies,
+    resolve_policy,
+    resolve_order_for,
 )
 from repro.cusync.tile_orders import (
     TileOrder,
@@ -44,6 +52,14 @@ __all__ = [
     "StridedSync",
     "Conv2DTileSync",
     "BatchSync",
+    "PolicySpec",
+    "PolicyContext",
+    "PolicyAssignment",
+    "register_policy",
+    "unregister_policy",
+    "registered_policies",
+    "resolve_policy",
+    "resolve_order_for",
     "TileOrder",
     "RowMajorOrder",
     "ColumnMajorOrder",

@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.common.dim3 import Dim3, ceil_div
 from repro.errors import SynchronizationError
 from repro.gpu.kernel import SemPost, SemWait, TensorAccess, TileOrderFn
@@ -41,11 +43,16 @@ RangeMap = Callable[[IndexRange, IndexRange, int], Tuple[IndexRange, IndexRange,
 
 @dataclass
 class Dependency:
-    """One producer → consumer edge for a specific tensor."""
+    """One producer → consumer edge for a specific tensor.
+
+    ``policy`` overrides the producer's default policy for this edge only
+    (per-edge policy assignment); ``None`` inherits the producer's policy.
+    """
 
     producer: "CuStage"
     tensor: str
     range_map: Optional[RangeMap] = None
+    policy: Optional[SyncPolicy] = None
 
 
 class CuStage(SyncInterface):
@@ -70,14 +77,19 @@ class CuStage(SyncInterface):
         self.dependencies: Dict[str, Dependency] = {}
         #: Stages that consume this stage's output.
         self.consumers: List["CuStage"] = []
-        #: Memoized consumer-read plans keyed by (tensor, rows, cols, batch).
-        #: Consumer blocks in the same tile row/column ask for identical
-        #: ranges, so the per-range planning loop runs once per distinct
-        #: range instead of once per dispatched block.  Cached plans are
-        #: shared (ReadPlanStep is frozen): callers must not mutate them.
+        #: Memoized consumer-read plans keyed by
+        #: (tensor, rows, cols, batch, policy slot).  Consumer blocks in the
+        #: same tile row/column ask for identical ranges, so the per-range
+        #: planning loop runs once per distinct range instead of once per
+        #: dispatched block.  Cached plans are shared (ReadPlanStep is
+        #: frozen): callers must not mutate them.
         self._consumer_read_cache: Dict[
-            Tuple[str, IndexRange, IndexRange, int], List[ReadPlanStep]
+            Tuple[str, IndexRange, IndexRange, int, int], List[ReadPlanStep]
         ] = {}
+        #: Additional producer-side policies demanded by consumer edges that
+        #: override this stage's default (slot 0 is ``self.policy``); each
+        #: gets its own semaphore array and one extra post per output tile.
+        self._edge_policies: List[SyncPolicy] = []
         # Validate the policy against the logical grid up front (the bounds
         # check cuSyncGen performs in step 2 of its workflow).
         self.policy.validate(self.logical_grid)
@@ -112,14 +124,70 @@ class CuStage(SyncInterface):
     # ------------------------------------------------------------------
     # Dependency declaration (CuSync::dependency in the paper)
     # ------------------------------------------------------------------
-    def depends_on(self, producer: "CuStage", tensor: str, range_map: Optional[RangeMap] = None) -> None:
-        """Declare that this stage reads ``tensor`` produced by ``producer``."""
+    def depends_on(
+        self,
+        producer: "CuStage",
+        tensor: str,
+        range_map: Optional[RangeMap] = None,
+        policy: Optional[SyncPolicy] = None,
+    ) -> None:
+        """Declare that this stage reads ``tensor`` produced by ``producer``.
+
+        ``policy`` makes this one edge synchronize under a different policy
+        than the producer's default: the producer allocates an extra
+        semaphore array for it and posts both after each output tile.
+        """
         if tensor in self.dependencies:
             raise SynchronizationError(
                 f"stage '{self.name}' already has a dependency for tensor '{tensor}'"
             )
-        self.dependencies[tensor] = Dependency(producer=producer, tensor=tensor, range_map=range_map)
+        if policy is not None:
+            policy = producer.register_edge_policy(policy)
+        self.dependencies[tensor] = Dependency(
+            producer=producer, tensor=tensor, range_map=range_map, policy=policy
+        )
         producer.consumers.append(self)
+
+    # ------------------------------------------------------------------
+    # Per-edge policy slots (producer side)
+    # ------------------------------------------------------------------
+    def register_edge_policy(self, policy: SyncPolicy) -> Optional[SyncPolicy]:
+        """Register a consumer edge's policy override with this producer.
+
+        Returns the canonical policy object for the edge: ``None`` when the
+        override is value-identical to the stage default (the edge simply
+        uses slot 0), otherwise the deduplicated instance whose slot the
+        edge's waits and the producer's extra posts will share.
+        """
+        if policy.key() == self.policy.key():
+            return None
+        for existing in self._edge_policies:
+            if existing.key() == policy.key():
+                return existing
+        policy.validate(self.logical_grid)
+        self._edge_policies.append(policy)
+        return policy
+
+    def semaphore_slots(self) -> List[Tuple[str, SyncPolicy]]:
+        """Every (array name, policy) pair this producer posts to."""
+        slots = [(self.semaphore_array, self.policy)]
+        slots.extend(
+            (stage_semaphore_array(self.name, index), edge_policy)
+            for index, edge_policy in enumerate(self._edge_policies, start=1)
+        )
+        return slots
+
+    def _slot_of(self, policy: Optional[SyncPolicy]) -> Tuple[int, SyncPolicy, str]:
+        """Resolve an edge policy to its (slot, policy, array) triple."""
+        if policy is None or policy.key() == self.policy.key():
+            return 0, self.policy, self.semaphore_array
+        for index, existing in enumerate(self._edge_policies, start=1):
+            if existing.key() == policy.key():
+                return index, existing, stage_semaphore_array(self.name, index)
+        raise SynchronizationError(
+            f"stage '{self.name}': edge policy {policy!r} was never registered "
+            "(declare the dependency with depends_on(..., policy=...))"
+        )
 
     @property
     def is_consumer(self) -> bool:
@@ -144,10 +212,17 @@ class CuStage(SyncInterface):
             return [ReadPlanStep(rows=rows, cols=cols, batch=batch)]
         if dependency.range_map is not None:
             rows, cols, batch = dependency.range_map(rows, cols, batch)
-        return dependency.producer.plan_consumer_reads(tensor, rows, cols, batch)
+        return dependency.producer.plan_consumer_reads(
+            tensor, rows, cols, batch, policy=dependency.policy
+        )
 
     def plan_consumer_reads(
-        self, tensor: str, rows: IndexRange, cols: IndexRange, batch: int
+        self,
+        tensor: str,
+        rows: IndexRange,
+        cols: IndexRange,
+        batch: int,
+        policy: Optional[SyncPolicy] = None,
     ) -> List[ReadPlanStep]:
         """Producer-side mapping: element ranges of *my output* → guarded chunks.
 
@@ -156,21 +231,34 @@ class CuStage(SyncInterface):
         identical are merged, which collapses RowSync dependences into a
         single wait covering the whole range.
 
-        Results are memoized per (tensor, rows, cols, batch): the policy,
-        geometry and order of a stage are fixed once the pipeline is built,
-        so identical ranges always plan identically.  The returned list is
-        shared between callers and must be treated as immutable.
+        ``policy`` selects the edge's policy slot: ``None`` (or a policy
+        value-identical to the stage default) plans against slot 0, an
+        override registered via :meth:`depends_on` plans against its own
+        semaphore array.
+
+        Results are memoized per (tensor, rows, cols, batch, slot): the
+        policies, geometry and order of a stage are fixed once the pipeline
+        is built, so identical ranges always plan identically.  The
+        returned list is shared between callers and must be treated as
+        immutable.
         """
-        key = (tensor, rows, cols, batch)
+        slot, slot_policy, array = self._slot_of(policy)
+        key = (tensor, rows, cols, batch, slot)
         cached = self._consumer_read_cache.get(key)
         if cached is not None:
             return cached
-        steps = self._plan_consumer_reads_uncached(tensor, rows, cols, batch)
+        steps = self._plan_consumer_reads_uncached(tensor, rows, cols, batch, slot_policy, array)
         self._consumer_read_cache[key] = steps
         return steps
 
     def _plan_consumer_reads_uncached(
-        self, tensor: str, rows: IndexRange, cols: IndexRange, batch: int
+        self,
+        tensor: str,
+        rows: IndexRange,
+        cols: IndexRange,
+        batch: int,
+        policy: SyncPolicy,
+        array: str,
     ) -> List[ReadPlanStep]:
         geometry = self.geometry
         grid = self.logical_grid
@@ -187,16 +275,30 @@ class CuStage(SyncInterface):
         row_hi = max(row_hi, row_lo + 1)
         col_hi = max(col_hi, col_lo + 1)
 
+        # Batched requirement derivation: one vectorized policy evaluation
+        # for the whole (column, row) window instead of two Python calls per
+        # covered tile.  ``.tolist()`` yields plain ints, so the emitted
+        # waits are value-identical to the scalar path.
+        col_indices = np.arange(col_lo, col_hi, dtype=np.int64)[:, None]
+        row_indices = np.arange(row_lo, row_hi, dtype=np.int64)[None, :]
+        semaphores = policy.semaphore_indices(col_indices, row_indices, batch, grid).tolist()
+        required_values = (
+            policy.expected_values(col_indices, row_indices, batch, grid) * self.posts_per_tile
+        ).tolist()
+
         steps: List[ReadPlanStep] = []
         previous_requirements: Optional[Tuple[Tuple[int, int], ...]] = None
-        for tile_col in range(col_lo, col_hi):
+        for column_offset, tile_col in enumerate(range(col_lo, col_hi)):
             requirements: Dict[int, int] = {}
             reads: List[TensorAccess] = []
-            for tile_row in range(row_lo, row_hi):
-                tile = Dim3(tile_col, tile_row, batch)
-                semaphore = self.policy.semaphore_index(tile, grid)
-                required = self.policy.expected_value(tile, grid) * self.posts_per_tile
-                requirements[semaphore] = max(requirements.get(semaphore, 0), required)
+            column_semaphores = semaphores[column_offset]
+            column_required = required_values[column_offset]
+            for row_offset, tile_row in enumerate(range(row_lo, row_hi)):
+                semaphore = column_semaphores[row_offset]
+                required = column_required[row_offset]
+                existing = requirements.get(semaphore, 0)
+                if required > existing:
+                    requirements[semaphore] = required
                 reads.append(TensorAccess(tensor, (tile_col, tile_row, batch)))
 
             chunk_cols = (
@@ -217,8 +319,7 @@ class CuStage(SyncInterface):
                 )
                 continue
             waits = tuple(
-                SemWait(self.semaphore_array, semaphore, required)
-                for semaphore, required in normalized
+                SemWait(array, semaphore, required) for semaphore, required in normalized
             )
             steps.append(
                 ReadPlanStep(rows=rows, cols=chunk_cols, waits=waits, reads=tuple(reads), batch=batch)
@@ -233,8 +334,23 @@ class CuStage(SyncInterface):
         if not self.is_producer:
             return []
         logical = self.logical_tile(tile)
-        semaphore = self.policy.semaphore_index(logical, self.logical_grid)
-        return [SemPost(self.semaphore_array, semaphore, 1)]
+        posts = [
+            SemPost(self.semaphore_array, self.policy.semaphore_index(logical, self.logical_grid), 1)
+        ]
+        # Consumer edges that override this stage's policy synchronize
+        # through their own slot: the block posts once per distinct policy
+        # (the CUDA analogue would increment one semaphore array per
+        # registered scheme), so mixing policies costs extra posts only on
+        # stages that actually mix.
+        for index, edge_policy in enumerate(self._edge_policies, start=1):
+            posts.append(
+                SemPost(
+                    stage_semaphore_array(self.name, index),
+                    edge_policy.semaphore_index(logical, self.logical_grid),
+                    1,
+                )
+            )
+        return posts
 
     def output_tile_key(self, tile: Dim3, grid: Dim3):
         logical = self.logical_tile(tile)

@@ -143,9 +143,15 @@ class CuSyncPipeline:
         consumer: CuStage,
         tensor: str,
         range_map: Optional[RangeMap] = None,
+        policy: Optional[SyncPolicy] = None,
     ) -> None:
-        """Declare ``consumer`` reads ``tensor`` produced by ``producer``."""
-        consumer.depends_on(producer, tensor, range_map=range_map)
+        """Declare ``consumer`` reads ``tensor`` produced by ``producer``.
+
+        ``policy`` synchronizes this one edge under a different policy than
+        the producer's default (per-edge policy assignment): the producer
+        posts to an extra semaphore array sized by the override.
+        """
+        consumer.depends_on(producer, tensor, range_map=range_map, policy=policy)
 
     @property
     def stages(self) -> List[CuStage]:

@@ -18,9 +18,17 @@ from repro.gpu.memory import GlobalMemory
 STAGE_START_ARRAY = "cusync_stage_start"
 
 
-def stage_semaphore_array(stage_name: str) -> str:
-    """Name of the tile-semaphore array belonging to ``stage_name``."""
-    return f"cusync_{stage_name}_sems"
+def stage_semaphore_array(stage_name: str, slot: int = 0) -> str:
+    """Name of a tile-semaphore array belonging to ``stage_name``.
+
+    Slot 0 is the stage's own (default) policy and keeps the historical
+    name; additional slots exist only when consumer edges override the
+    producer's policy (per-edge policy assignment), one array per distinct
+    override policy.
+    """
+    if slot == 0:
+        return f"cusync_{stage_name}_sems"
+    return f"cusync_{stage_name}_sems.{slot}"
 
 
 class SemaphoreAllocator:
@@ -33,12 +41,15 @@ class SemaphoreAllocator:
         """Allocate per-stage tile semaphores plus the stage-start flags.
 
         ``stages`` is an iterable of :class:`~repro.cusync.custage.CuStage`;
-        the import is kept local to avoid a circular dependency.
+        the import is kept local to avoid a circular dependency.  Every
+        policy slot of a stage (the default policy plus any per-edge
+        overrides) gets its own array, sized by that slot's policy.
         """
         stage_list = list(stages)
         if not stage_list:
             return
         self.memory.alloc_semaphores(STAGE_START_ARRAY, len(stage_list))
         for stage in stage_list:
-            count = stage.policy.num_semaphores(stage.logical_grid)
-            self.memory.alloc_semaphores(stage.semaphore_array, max(1, count))
+            for array, policy in stage.semaphore_slots():
+                count = policy.num_semaphores(stage.logical_grid)
+                self.memory.alloc_semaphores(array, max(1, count))

@@ -155,6 +155,7 @@ class Attention(Workload):
                 Edge("attn_qkv", "attn_values", tensor="Vall", range_map=value_map),
                 Edge("attn_values", "attn_out", tensor="T"),
             ],
+            name=f"attn_{self.config.name}_s{self.seq}_c{self.cached}",
         )
 
     # ------------------------------------------------------------------

@@ -90,7 +90,11 @@ class ConvChain(Workload):
                 edges.append(
                     Edge(producer=f"conv{index - 1}", consumer=f"conv{index}", tensor=problem.input)
                 )
-        return PipelineGraph(stages=stages, edges=edges)
+        return PipelineGraph(
+            stages=stages,
+            edges=edges,
+            name=f"conv_chain_c{self.spec.channels}x{self.convs}_b{self.batch}",
+        )
 
     # ------------------------------------------------------------------
     def input_tensors(self, rng: Optional[np.random.Generator] = None) -> Dict[str, np.ndarray]:

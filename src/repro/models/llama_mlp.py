@@ -135,6 +135,7 @@ class LlamaMlp(Workload):
                     range_map=swiglu_range_map,
                 )
             ],
+            name=f"llama_mlp_{self.config.name}_b{self.batch_seq}",
         )
 
     def input_tensors(self, rng: Optional[np.random.Generator] = None) -> Dict[str, np.ndarray]:

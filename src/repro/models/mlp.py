@@ -128,6 +128,7 @@ class GptMlp(Workload):
                 StageSpec(name="mlp_gemm2", kernel=consumer),
             ],
             edges=[Edge(producer="mlp_gemm1", consumer="mlp_gemm2", tensor="XW1")],
+            name=f"mlp_{self.config.name}_b{self.batch_seq}",
         )
 
     def input_tensors(self, rng: Optional[np.random.Generator] = None) -> Dict[str, np.ndarray]:

@@ -37,8 +37,10 @@ from repro.pipeline.executors import resolve_order, resolve_policy
 from repro.pipeline.session import run as run_graph
 
 #: Re-exported from :mod:`repro.pipeline.executors` for backward
-#: compatibility: a policy family name or an explicit per-stage list.
-from repro.pipeline.executors import PolicySpec  # noqa: F401  (public API)
+#: compatibility: a policy family name, PolicySpec, per-edge
+#: PolicyAssignment, or an explicit per-stage list.
+from repro.pipeline.executors import PolicyLike  # noqa: F401  (public API)
+from repro.cusync.policies import PolicyAssignment, PolicySpec  # noqa: F401  (public API)
 
 
 @dataclass
@@ -157,7 +159,7 @@ class Workload(ABC):
     def _run(
         self,
         scheme: str,
-        policy: PolicySpec = "TileSync",
+        policy: PolicyLike = "TileSync",
         optimizations: Optional[OptimizationFlags] = None,
         memory: Optional[GlobalMemory] = None,
         graph: Optional[pipeline_graph.PipelineGraph] = None,
@@ -192,7 +194,7 @@ class Workload(ABC):
 
     def run_cusync(
         self,
-        policy: PolicySpec = "TileSync",
+        policy: PolicyLike = "TileSync",
         optimizations: Optional[OptimizationFlags] = None,
         memory: Optional[GlobalMemory] = None,
     ) -> PipelineResult:
@@ -236,7 +238,7 @@ class Workload(ABC):
     # Convenience for benchmarks
     # ------------------------------------------------------------------
     def improvement_over_streamsync(
-        self, policy: PolicySpec = "TileSync", optimizations: Optional[OptimizationFlags] = None
+        self, policy: PolicyLike = "TileSync", optimizations: Optional[OptimizationFlags] = None
     ) -> float:
         """Fractional improvement of cuSync over StreamSync (0.1 == 10%)."""
         graph = self.to_graph()

@@ -24,24 +24,38 @@ Quick start::
     synced = session.run(graph, scheme="cusync", policy="TileSync")
 """
 
+from repro.cusync.policies import (
+    PolicyAssignment,
+    PolicyContext,
+    PolicySpec,
+    register_policy,
+    registered_policies,
+)
 from repro.pipeline.graph import Edge, PipelineGraph, StageSpec, linear_graph
 from repro.pipeline.executors import (
     CuSyncBackend,
     ExecutionContext,
     Executor,
-    PolicySpec,
+    PolicyLike,
     StageSummary,
     StreamKBackend,
     StreamSyncBackend,
     auto_flags,
     available_schemes,
     get_executor,
+    policy_context,
     register_executor,
     resolve_order,
     resolve_policy,
     summarize_stages,
 )
-from repro.pipeline.session import Session, SweepPoint, SweepResult, run
+from repro.pipeline.session import (
+    Session,
+    SweepPoint,
+    SweepResult,
+    run,
+    sweep_policies,
+)
 
 __all__ = [
     "PipelineGraph",
@@ -53,7 +67,13 @@ __all__ = [
     "StreamSyncBackend",
     "StreamKBackend",
     "CuSyncBackend",
+    "PolicyLike",
     "PolicySpec",
+    "PolicyAssignment",
+    "PolicyContext",
+    "register_policy",
+    "registered_policies",
+    "policy_context",
     "StageSummary",
     "auto_flags",
     "available_schemes",
@@ -66,4 +86,5 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "run",
+    "sweep_policies",
 ]

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Type, Union
 
 import numpy as np
 
-from repro.errors import GraphValidationError, ModelConfigError, SimulationError
+from repro.errors import GraphValidationError, SimulationError
 from repro.gpu.arch import GpuArchitecture, TESLA_V100
 from repro.gpu.costmodel import CostModel
 from repro.gpu.memory import GlobalMemory
@@ -34,55 +34,52 @@ from repro.baselines.streamsync import StreamSyncExecutor
 from repro.cusync.handle import CuSyncPipeline, PipelineResult
 from repro.cusync.optimizations import OptimizationFlags, auto_optimizations
 from repro.cusync.policies import (
-    Conv2DTileSync,
-    RowSync,
-    StridedSync,
+    PolicyAssignment,
+    PolicyContext,
+    PolicySpec,
     SyncPolicy,
-    TileSync,
 )
-from repro.cusync.tile_orders import GroupedColumnsOrder, RowMajorOrder, TileOrder
-from repro.pipeline.graph import PipelineGraph, StageSpec
+from repro.cusync import policies as policy_registry
+from repro.cusync.tile_orders import RowMajorOrder, TileOrder
+from repro.pipeline.graph import Edge, PipelineGraph, StageSpec
 
-#: Policy selector: a policy family name (``"TileSync"``, ``"RowSync"``,
-#: ``"Conv2DTileSync"``, ``"StridedTileSync"``) or an explicit per-stage
-#: list of policy instances in the graph's launch order.
-PolicySpec = Union[str, Sequence[SyncPolicy]]
+#: Policy selector accepted by the cusync backend: a policy family name
+#: (``"TileSync"``, ``"RowSync"``, ...), a :class:`PolicySpec`, a per-edge
+#: :class:`PolicyAssignment`, or (legacy) an explicit per-stage list of
+#: policy instances in the graph's launch order.
+PolicyLike = Union[str, PolicySpec, PolicyAssignment, Sequence[SyncPolicy]]
 
 
 # ----------------------------------------------------------------------
 # Per-stage policy resolution (shared by the cusync backend and the legacy
 # Workload helpers)
 # ----------------------------------------------------------------------
-def resolve_policy(family: str, stage: StageSpec) -> SyncPolicy:
+def policy_context(stage: StageSpec) -> PolicyContext:
+    """The registry context describing ``stage`` as a producer."""
+    return PolicyContext(
+        stage_name=stage.name,
+        logical_grid=stage.kernel.stage_geometry().logical_grid,
+        strided_groups=stage.strided_groups,
+    )
+
+
+def resolve_policy(family: Union[str, PolicySpec], stage: StageSpec) -> SyncPolicy:
     """Build the policy instance a named family uses for one stage.
 
-    ``StridedTileSync`` falls back to plain :class:`TileSync` when the
-    stage declares no ``strided_groups`` or its grid's x extent is not an
-    (integer) multiple of them.
+    Thin wrapper over the :mod:`repro.cusync.policies` registry
+    (:func:`repro.cusync.policies.resolve_policy`) binding the stage's
+    :class:`~repro.cusync.policies.PolicyContext`.  ``StridedTileSync``
+    falls back to plain TileSync when the stage declares no
+    ``strided_groups`` or its grid's x extent is not an (integer) multiple
+    of them.
     """
-    normalized = family.lower()
-    if normalized in ("tilesync", "tile"):
-        return TileSync()
-    if normalized in ("rowsync", "row"):
-        return RowSync()
-    if normalized in ("conv2dtilesync", "conv2dtile"):
-        return Conv2DTileSync()
-    if normalized in ("stridedtilesync", "strided"):
-        if stage.strided_groups is not None:
-            grid = stage.kernel.stage_geometry().logical_grid
-            if grid.x % stage.strided_groups == 0 and grid.x > stage.strided_groups:
-                return StridedSync(stride=grid.x // stage.strided_groups)
-        return TileSync()
-    raise ModelConfigError(f"unknown synchronization policy family {family!r}")
+    return policy_registry.resolve_policy(family, policy_context(stage))
 
 
-def resolve_order(family: str, stage: StageSpec) -> TileOrder:
+def resolve_order(family: Union[str, PolicySpec], stage: StageSpec) -> TileOrder:
     """Tile processing order paired with a policy family for one stage."""
-    if family.lower() in ("stridedtilesync", "strided") and stage.strided_groups is not None:
-        grid = stage.kernel.stage_geometry().logical_grid
-        if grid.x % stage.strided_groups == 0 and grid.x > stage.strided_groups:
-            return GroupedColumnsOrder(group=stage.strided_groups)
-    return RowMajorOrder()
+    order = policy_registry.resolve_order_for(family, policy_context(stage))
+    return order if order is not None else RowMajorOrder()
 
 
 def auto_flags(
@@ -160,8 +157,9 @@ class ExecutionContext:
     arch: GpuArchitecture = TESLA_V100
     cost_model: Optional[CostModel] = None
     functional: bool = False
-    #: Policy family (or per-stage policy list) for the cusync backend.
-    policy: PolicySpec = "TileSync"
+    #: Policy selection for the cusync backend: family name, PolicySpec,
+    #: per-edge PolicyAssignment, or (legacy) per-stage policy list.
+    policy: PolicyLike = "TileSync"
     #: Explicit optimization flags; ``None`` applies the automatic per-edge
     #: W/R/T choice of Section IV-C.
     optimizations: Optional[OptimizationFlags] = None
@@ -281,18 +279,28 @@ class CuSyncBackend(Executor):
             per_stage_flags = auto_flags(graph, ctx.arch, ctx.stage_summaries)
 
         policy = ctx.policy
-        if not isinstance(policy, str) and len(policy) != len(graph):
-            raise GraphValidationError(
-                f"per-stage policy list has {len(policy)} entries but the graph "
-                f"has {len(graph)} stages (launch order: {', '.join(graph.stage_names)})"
-            )
+        assignment: Optional[PolicyAssignment] = None
+        per_stage_list: Optional[Sequence[SyncPolicy]] = None
+        if isinstance(policy, (str, PolicySpec, PolicyAssignment)):
+            assignment = PolicyAssignment.coerce(policy)
+            _check_assignment(assignment, graph)
+        else:
+            per_stage_list = list(policy)
+            if len(per_stage_list) != len(graph):
+                raise GraphValidationError(
+                    f"per-stage policy list has {len(per_stage_list)} entries but the graph "
+                    f"has {len(graph)} stages (launch order: {', '.join(graph.stage_names)})"
+                )
+
         stages: Dict[str, object] = {}
+        stage_policies: Dict[str, SyncPolicy] = {}
         for index, stage in enumerate(graph.topological_order):
-            if isinstance(policy, str):
-                stage_policy = stage.policy if stage.policy is not None else resolve_policy(policy, stage)
-                stage_order = stage.order if stage.order is not None else resolve_order(policy, stage)
+            if assignment is not None:
+                spec = assignment.spec_for_stage(stage.name)
+                stage_policy = stage.policy if stage.policy is not None else resolve_policy(spec, stage)
+                stage_order = stage.order if stage.order is not None else resolve_order(spec, stage)
             else:
-                stage_policy = policy[index]
+                stage_policy = per_stage_list[index]
                 stage_order = stage.order if stage.order is not None else RowMajorOrder()
             if stage.optimizations is not None:
                 flags = stage.optimizations
@@ -300,6 +308,7 @@ class CuSyncBackend(Executor):
                 flags = shared_flags
             else:
                 flags = per_stage_flags[stage.name]
+            stage_policies[stage.name] = stage_policy
             stages[stage.name] = pipeline.add_stage(
                 stage.kernel,
                 policy=stage_policy,
@@ -314,5 +323,61 @@ class CuSyncBackend(Executor):
                     stages[edge.consumer],
                     edge.tensor,
                     range_map=edge.range_map,
+                    policy=self._edge_policy(edge, graph, assignment, stage_policies),
                 )
         return pipeline.run(memory=ctx.memory, tensors=ctx.tensors)
+
+    @staticmethod
+    def _edge_policy(
+        edge: Edge,
+        graph: PipelineGraph,
+        assignment: Optional[PolicyAssignment],
+        stage_policies: Dict[str, SyncPolicy],
+    ) -> Optional[SyncPolicy]:
+        """The policy instance guarding one edge, or ``None`` to inherit.
+
+        Precedence: the edge's own ``policy`` field, then the run
+        assignment's per-edge entry, then the producer stage's policy
+        (returned as ``None`` so the stage's slot 0 is used directly).
+        Overrides that resolve to the producer's own policy are collapsed
+        to ``None`` as well — the stage deduplicates by value anyway, this
+        just keeps the intent visible at the call site.
+        """
+        producer_stage = graph.stage(edge.producer)
+        selected: Optional[Union[str, PolicySpec, SyncPolicy]] = edge.policy
+        if selected is None and assignment is not None:
+            selected = assignment.spec_for_edge(edge.producer, edge.consumer, edge.tensor)
+        if selected is None:
+            return None
+        if isinstance(selected, SyncPolicy):
+            resolved = selected
+        else:
+            resolved = resolve_policy(selected, producer_stage)
+        if resolved.key() == stage_policies[edge.producer].key():
+            return None
+        return resolved
+
+
+def _check_assignment(assignment: PolicyAssignment, graph: PipelineGraph) -> None:
+    """Reject assignments addressing stages/edges the graph does not have."""
+    stage_names = set(stage.name for stage in graph.stages)
+    for name in assignment.stage_names():
+        if name not in stage_names:
+            raise GraphValidationError(
+                f"policy assignment names stage {name!r}, but the graph has no "
+                f"such stage (stages: {', '.join(sorted(stage_names))})"
+            )
+    edge_triples = {(edge.producer, edge.consumer, edge.tensor) for edge in graph.edges}
+    edge_pairs = {(producer, consumer) for producer, consumer, _ in edge_triples}
+    for producer, consumer, tensor in assignment.edge_keys():
+        if tensor is None:
+            if (producer, consumer) not in edge_pairs:
+                raise GraphValidationError(
+                    f"policy assignment names edge {producer!r} -> {consumer!r}, "
+                    "but the graph has no edge between those stages"
+                )
+        elif (producer, consumer, tensor) not in edge_triples:
+            raise GraphValidationError(
+                f"policy assignment names edge {producer!r} -> {consumer!r} for "
+                f"tensor {tensor!r}, but the graph has no such edge"
+            )

@@ -21,10 +21,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from typing import Union
+
 from repro.errors import GraphValidationError
 from repro.cusync.custage import RangeMap
 from repro.cusync.optimizations import OptimizationFlags
-from repro.cusync.policies import SyncPolicy
+from repro.cusync.policies import PolicySpec, SyncPolicy
 from repro.cusync.tile_orders import TileOrder
 from repro.kernels.base import TiledKernel
 
@@ -60,12 +62,22 @@ class Edge:
     ``range_map`` translates element coordinates of the consumer's read into
     coordinates of the producer's output; when absent, ``tensor`` must be
     the tensor the producer kernel writes.
+
+    ``policy`` pins the synchronization policy of *this edge only* — a
+    family name, a :class:`~repro.cusync.policies.PolicySpec` or a ready
+    :class:`~repro.cusync.policies.SyncPolicy` — overriding both the
+    run-time policy selection and the producer stage's default, so sibling
+    edges of one graph can synchronize under different policies in the same
+    execution.  Left ``None``, the run's
+    :class:`~repro.cusync.policies.PolicyAssignment` (or the producer's
+    stage policy) decides.
     """
 
     producer: str
     consumer: str
     tensor: str
     range_map: Optional[RangeMap] = field(default=None, compare=False)
+    policy: Optional[Union[str, PolicySpec, SyncPolicy]] = None
 
 
 class PipelineGraph:
@@ -84,7 +96,13 @@ class PipelineGraph:
     kernels.
     """
 
-    def __init__(self, stages: Sequence[StageSpec], edges: Sequence[Edge] = ()) -> None:
+    def __init__(
+        self,
+        stages: Sequence[StageSpec],
+        edges: Sequence[Edge] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        self._name: Optional[str] = name
         self._stages: Tuple[StageSpec, ...] = tuple(stages)
         self._edges: Tuple[Edge, ...] = tuple(edges)
         if not self._stages:
@@ -192,6 +210,11 @@ class PipelineGraph:
     # Read-only views
     # ------------------------------------------------------------------
     @property
+    def name(self) -> Optional[str]:
+        """Optional graph label, used to attribute multi-graph sweep results."""
+        return self._name
+
+    @property
     def stages(self) -> Tuple[StageSpec, ...]:
         """Stages in declaration order."""
         return self._stages
@@ -238,7 +261,8 @@ class PipelineGraph:
 
     def describe(self) -> str:
         parts = [f"{stage.name}[{stage.kernel.grid}]" for stage in self._topological]
-        return f"PipelineGraph({' -> '.join(parts)}, {len(self._edges)} edges)"
+        label = f"{self._name!r}, " if self._name else ""
+        return f"PipelineGraph({label}{' -> '.join(parts)}, {len(self._edges)} edges)"
 
     def __repr__(self) -> str:
         return self.describe()

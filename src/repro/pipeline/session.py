@@ -9,21 +9,41 @@ W/R/T flag selection needs, so sweeping a graph over many
 ``(scheme, policy, arch)`` points re-derives nothing per point and never
 rebuilds a kernel.
 
-:meth:`Session.sweep` fans those points out over ``concurrent.futures``
-worker processes when the graph is picklable (graphs whose range maps are
-module-level functions are; ad-hoc closures fall back to the serial path),
-and returns lightweight :class:`SweepResult` records either way — the
-results are identical to a serial loop because the simulator is
-deterministic and every point runs on an independent binding.
+:meth:`Session.sweep` evaluates a grid of :class:`SweepPoint` work — either
+the classic ``(scheme, policy, arch)`` product over one graph, or an
+explicit iterable of ``(graph, SweepPoint)`` pairs mixing several graphs
+and per-edge :class:`~repro.cusync.policies.PolicyAssignment` grids in one
+call (:func:`sweep_policies` builds such grids).  Three execution modes are
+available and produce bit-identical results, because the simulator is
+deterministic and every point runs on an independent binding:
+
+``mode="process"``
+    Points fan out over ``concurrent.futures`` worker processes operating
+    on pickled copies of the graphs.  Graphs whose range maps are ad-hoc
+    closures cannot cross process boundaries.
+``mode="thread"``
+    Points fan out over a thread pool; points of the *same* graph
+    serialize on a per-graph lock (executors re-bind that graph's kernels
+    per run), so threads buy concurrency across graphs — exactly the
+    multi-graph batch case — and work for closure-carrying graphs.
+``mode="serial"``
+    A plain in-process loop.
+
+``mode=None`` picks ``process`` when every graph is picklable and
+otherwise warns once (naming the offending stage and the ``mode="thread"``
+alternative) before running serially.
 """
 
 from __future__ import annotations
 
+import itertools
 import pickle
+import threading
+import warnings
 import weakref
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,20 +53,24 @@ from repro.gpu.costmodel import CostModel
 from repro.gpu.memory import GlobalMemory
 from repro.cusync.handle import PipelineResult
 from repro.cusync.optimizations import OptimizationFlags
+from repro.cusync.policies import PolicyAssignment, PolicySpec
 from repro.pipeline.executors import (
     ExecutionContext,
-    PolicySpec,
+    PolicyLike,
     StageSummary,
     get_executor,
     summarize_stages,
 )
 from repro.pipeline.graph import PipelineGraph
 
+#: What a sweep point's policy axis accepts (``None`` for non-cusync points).
+SweepPolicy = Union[None, str, PolicySpec, PolicyAssignment]
+
 
 def run(
     graph: PipelineGraph,
     scheme: str = "cusync",
-    policy: PolicySpec = "TileSync",
+    policy: PolicyLike = "TileSync",
     optimizations: Optional[OptimizationFlags] = None,
     arch: GpuArchitecture = TESLA_V100,
     cost_model: Optional[CostModel] = None,
@@ -57,6 +81,9 @@ def run(
     """Execute ``graph`` once under ``scheme``.
 
     ``policy`` and ``optimizations`` only apply to the ``cusync`` scheme;
+    ``policy`` may be a family name, a
+    :class:`~repro.cusync.policies.PolicySpec` or a per-edge
+    :class:`~repro.cusync.policies.PolicyAssignment`;
     ``optimizations=None`` selects the automatic per-edge W/R/T flags
     (Section IV-C).  The graph is never mutated and its kernels are never
     rebuilt — run the same graph again under any other configuration.
@@ -73,17 +100,32 @@ def run(
     return get_executor(scheme).run(graph, ctx)
 
 
+def _policy_label(policy: SweepPolicy) -> str:
+    if policy is None:
+        return ""
+    if isinstance(policy, str):
+        return policy
+    return policy.label()
+
+
 @dataclass(frozen=True)
 class SweepPoint:
-    """One configuration of a sweep: ``(scheme, policy, arch)``."""
+    """One configuration of a sweep: ``(scheme, policy, arch)``.
+
+    ``policy`` may be a family name, a
+    :class:`~repro.cusync.policies.PolicySpec` or a full per-edge
+    :class:`~repro.cusync.policies.PolicyAssignment` (all hashable and
+    picklable); non-cusync schemes use ``None``.
+    """
 
     scheme: str
-    policy: Optional[str]
+    policy: SweepPolicy
     arch: GpuArchitecture
 
     def label(self) -> str:
-        policy = f":{self.policy}" if self.policy else ""
-        return f"{self.scheme}{policy}@{self.arch.name}"
+        policy = _policy_label(self.policy)
+        suffix = f":{policy}" if policy else ""
+        return f"{self.scheme}{suffix}@{self.arch.name}"
 
 
 @dataclass(frozen=True)
@@ -91,11 +133,18 @@ class SweepResult:
     """Outcome of one sweep point, small enough to cross process boundaries."""
 
     scheme: str
-    policy: Optional[str]
+    policy: SweepPolicy
     arch_name: str
     total_time_us: float
     total_wait_time_us: float
     kernel_durations_us: Tuple[Tuple[str, float], ...]
+    #: Which graph of a multi-graph sweep produced this result (the graph's
+    #: ``name`` when set, otherwise its position in the work list).
+    graph_label: str = ""
+
+    @property
+    def policy_label(self) -> str:
+        return _policy_label(self.policy)
 
     def duration_of(self, kernel_name: str) -> float:
         return dict(self.kernel_durations_us)[kernel_name]
@@ -106,6 +155,7 @@ def _sweep_point_result(
     point: SweepPoint,
     cost_model: Optional[CostModel] = None,
     stage_summaries: Optional[Dict[str, StageSummary]] = None,
+    graph_label: str = "",
 ) -> SweepResult:
     """Evaluate one sweep point (always timing-only, never functional).
 
@@ -133,13 +183,113 @@ def _sweep_point_result(
         kernel_durations_us=tuple(
             (name, stats.duration_us) for name, stats in sorted(trace.kernels.items())
         ),
+        graph_label=graph_label,
     )
 
 
-def _sweep_worker(payload: Tuple[PipelineGraph, SweepPoint, Optional[CostModel]]) -> SweepResult:
+def _sweep_worker(
+    payload: Tuple[PipelineGraph, SweepPoint, Optional[CostModel], str]
+) -> SweepResult:
     """Top-level worker entry point (must be picklable by name)."""
-    graph, point, cost_model = payload
-    return _sweep_point_result(graph, point, cost_model=cost_model)
+    graph, point, cost_model, graph_label = payload
+    return _sweep_point_result(graph, point, cost_model=cost_model, graph_label=graph_label)
+
+
+# ----------------------------------------------------------------------
+# Picklability diagnosis for the process mode
+# ----------------------------------------------------------------------
+def _picklable(value) -> bool:
+    try:
+        pickle.dumps(value)
+    except Exception:
+        return False
+    return True
+
+
+def _closure_culprit(graph: PipelineGraph) -> Optional[str]:
+    """Human-readable description of what keeps ``graph`` off the process pool."""
+    if _picklable(graph):
+        return None
+    for edge in graph.edges:
+        if edge.range_map is not None and not _picklable(edge.range_map):
+            map_name = getattr(edge.range_map, "__qualname__", repr(edge.range_map))
+            return (
+                f"edge {edge.producer!r} -> {edge.consumer!r} carries the "
+                f"closure range map {map_name!r}"
+            )
+    for stage in graph.stages:
+        if not _picklable(stage.kernel):
+            return f"stage {stage.name!r} holds an unpicklable kernel"
+    return "the graph object itself cannot be pickled"
+
+
+#: Culprit strings already warned about (the serial fallback warns once per
+#: distinct cause per process, not once per sweep call).
+_FALLBACK_WARNED: set = set()
+
+
+def _warn_serial_fallback(graph: PipelineGraph, culprit: str) -> None:
+    key = (graph.name or "", culprit)
+    if key in _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED.add(key)
+    label = graph.name or graph.describe()
+    warnings.warn(
+        f"Session.sweep: graph {label} cannot be sent to worker processes "
+        f"({culprit}); running this sweep serially. Pass mode='thread' to "
+        "sweep closure-carrying graphs concurrently (multi-graph batches "
+        "parallelize across graphs), or make the range maps module-level "
+        "functions to enable mode='process'.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweep-grid helpers
+# ----------------------------------------------------------------------
+def sweep_policies(
+    graph: PipelineGraph,
+    families: Sequence[Union[str, PolicySpec]] = ("TileSync", "RowSync"),
+    arches: Sequence[GpuArchitecture] = (TESLA_V100,),
+    scheme: str = "cusync",
+    mixed: bool = False,
+) -> List[Tuple[PipelineGraph, SweepPoint]]:
+    """Build ``(graph, SweepPoint)`` work covering a policy grid.
+
+    With ``mixed=False`` (the default) one uniform point per family is
+    produced.  With ``mixed=True`` the full cartesian product of
+    ``families`` over the graph's edges is generated as per-edge
+    :class:`~repro.cusync.policies.PolicyAssignment` grids — the uniform
+    points are the product's diagonal, so they are always included.  The
+    grid has ``len(families) ** len(edges)`` points per arch; it is the
+    caller's job to keep that tractable (prune ``families`` or sweep a
+    subgraph).  Concatenate the work of several graphs and hand it to
+    :meth:`Session.sweep` for a multi-graph batch::
+
+        work = sweep_policies(mlp, ("TileSync", "RowSync"), mixed=True) \\
+             + sweep_policies(attention, ("TileSync", "StridedTileSync"))
+        results = session.sweep(work, mode="thread")
+    """
+    specs = [PolicySpec.coerce(family) for family in families]
+    edges = [(edge.producer, edge.consumer, edge.tensor) for edge in graph.edges]
+    work: List[Tuple[PipelineGraph, SweepPoint]] = []
+    for arch in arches:
+        if not mixed or not edges:
+            for spec in specs:
+                work.append((graph, SweepPoint(scheme=scheme, policy=spec, arch=arch)))
+            continue
+        for combination in itertools.product(specs, repeat=len(edges)):
+            uniform = all(spec == combination[0] for spec in combination)
+            if uniform:
+                policy: SweepPolicy = combination[0]
+            else:
+                policy = PolicyAssignment(
+                    default=combination[0],
+                    edges={key: spec for key, spec in zip(edges, combination)},
+                )
+            work.append((graph, SweepPoint(scheme=scheme, policy=policy, arch=arch)))
+    return work
 
 
 class Session:
@@ -208,7 +358,7 @@ class Session:
         self,
         graph: PipelineGraph,
         scheme: str = "cusync",
-        policy: PolicySpec = "TileSync",
+        policy: PolicyLike = "TileSync",
         optimizations: Optional[OptimizationFlags] = None,
         arch: Optional[GpuArchitecture] = None,
         memory: Optional[GlobalMemory] = None,
@@ -231,21 +381,33 @@ class Session:
     # ------------------------------------------------------------------
     def sweep(
         self,
-        graph: PipelineGraph,
-        policies: Sequence[str] = ("TileSync",),
+        graph_or_work: Union[PipelineGraph, Iterable[Tuple[PipelineGraph, SweepPoint]]],
+        policies: Sequence[Union[str, PolicySpec, PolicyAssignment]] = ("TileSync",),
         arches: Optional[Sequence[GpuArchitecture]] = None,
         schemes: Sequence[str] = ("cusync",),
         workers: Optional[int] = None,
+        mode: Optional[str] = None,
     ) -> List[SweepResult]:
-        """Run every ``(scheme, policy, arch)`` point of a sweep.
+        """Evaluate every point of a sweep, in point order.
 
-        Non-cusync schemes ignore the policy axis (they contribute one
-        point per arch).  ``workers=0`` forces the serial in-process path;
-        ``workers=None`` picks a process count automatically.  Results are
-        returned in point order and are identical to a serial loop: both
-        paths evaluate every point through the same
-        :func:`_sweep_point_result`, each point on an independent per-run
-        binding (worker processes operate on pickled copies of the graph).
+        ``graph_or_work`` is either one graph — expanded into the classic
+        ``(scheme, policy, arch)`` product using ``policies`` / ``arches``
+        / ``schemes`` — or an explicit iterable of ``(graph, SweepPoint)``
+        pairs, which may mix several graphs and per-edge
+        :class:`~repro.cusync.policies.PolicyAssignment` grids in one call
+        (see :func:`sweep_policies`).  Non-cusync schemes ignore the policy
+        axis (they contribute one point per arch).
+
+        ``mode`` selects how points execute — ``"process"``, ``"thread"``,
+        ``"serial"``, or ``None`` to pick automatically (processes when
+        every graph pickles, otherwise a one-time warning plus the serial
+        path).  Results are bit-identical across all modes: every path
+        evaluates points through the same :func:`_sweep_point_result`,
+        each point on an independent per-run binding (worker processes on
+        pickled copies; threads serialize same-graph points on a per-graph
+        lock because executors re-bind that graph's kernels per run).
+        ``workers`` caps the pool size; ``workers=0`` is legacy shorthand
+        for ``mode="serial"``.
 
         Sweeps measure timing only — functional simulation needs per-run
         input tensors and is not part of the point grid; use :meth:`run`
@@ -256,32 +418,110 @@ class Session:
                 "Session.sweep measures timing only; run functional points "
                 "individually with Session.run(graph, ..., tensors=...)"
             )
-        arches = tuple(arches) if arches is not None else (self.arch,)
-        points: List[SweepPoint] = []
-        for arch in arches:
-            for scheme in schemes:
-                if scheme == "cusync":
-                    for policy in policies:
-                        points.append(SweepPoint(scheme=scheme, policy=policy, arch=arch))
-                else:
-                    points.append(SweepPoint(scheme=scheme, policy=None, arch=arch))
+        if mode not in (None, "serial", "thread", "process"):
+            raise SimulationError(
+                f"unknown sweep mode {mode!r}; choose 'serial', 'thread' or 'process'"
+            )
+        work = self._normalize_work(graph_or_work, policies, arches, schemes)
+        labels = self._graph_labels(work)
+        if workers == 0 or mode == "serial" or len(work) <= 1:
+            return self._sweep_serial(work, labels)
+        if mode == "thread":
+            return self._sweep_threaded(work, labels, workers)
+        if mode == "process":
+            culprits = self._pickle_culprits(work)
+            if culprits:
+                raise SimulationError(
+                    "Session.sweep(mode='process') needs picklable graphs, but "
+                    + "; ".join(culprits)
+                    + ". Use mode='thread' for closure-carrying graphs."
+                )
+            return self._sweep_processes(work, labels, workers)
+        # Automatic mode: processes when possible, else warn + serial.
+        culprits = self._pickle_culprits(work, warn=True)
+        if culprits:
+            return self._sweep_serial(work, labels)
+        return self._sweep_processes(work, labels, workers)
 
-        if workers != 0 and len(points) > 1:
-            payloads = self._picklable_payloads(graph, points, self.cost_model)
-            if payloads is not None:
-                max_workers = workers if workers is not None else min(8, len(points))
-                pool_usable = True
-                with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                    try:
-                        # Probe that worker processes actually start (some
-                        # sandboxes forbid them); after a successful probe,
-                        # genuine worker crashes propagate to the caller
-                        # instead of silently re-running serially.
-                        pool.submit(int, 0).result()
-                    except (OSError, RuntimeError):
-                        pool_usable = False
-                    if pool_usable:
-                        return list(pool.map(_sweep_worker, payloads))
+    # ------------------------------------------------------------------
+    def _normalize_work(
+        self,
+        graph_or_work,
+        policies,
+        arches,
+        schemes,
+    ) -> List[Tuple[PipelineGraph, SweepPoint]]:
+        if isinstance(graph_or_work, PipelineGraph):
+            graph = graph_or_work
+            arches = tuple(arches) if arches is not None else (self.arch,)
+            work: List[Tuple[PipelineGraph, SweepPoint]] = []
+            for arch in arches:
+                for scheme in schemes:
+                    if scheme == "cusync":
+                        for policy in policies:
+                            work.append(
+                                (graph, SweepPoint(scheme=scheme, policy=policy, arch=arch))
+                            )
+                    else:
+                        work.append((graph, SweepPoint(scheme=scheme, policy=None, arch=arch)))
+            return work
+        work = []
+        for item in graph_or_work:
+            graph, point = item
+            if not isinstance(graph, PipelineGraph) or not isinstance(point, SweepPoint):
+                raise SimulationError(
+                    "Session.sweep work items must be (PipelineGraph, SweepPoint) "
+                    f"pairs, got {item!r}"
+                )
+            work.append((graph, point))
+        return work
+
+    @staticmethod
+    def _graph_labels(work: Sequence[Tuple[PipelineGraph, SweepPoint]]) -> Dict[int, str]:
+        """One stable, *unique* label per distinct graph.
+
+        The graph's ``name`` when set (suffixed with ``#n`` if two distinct
+        graphs share a name), otherwise its position in the work list —
+        results of a multi-graph sweep stay attributable either way.
+        """
+        labels: Dict[int, str] = {}
+        taken: set = set()
+        ordinal = 0
+        for graph, _ in work:
+            if id(graph) in labels:
+                continue
+            label = graph.name if graph.name else f"graph{ordinal}"
+            if label in taken:
+                suffix = 2
+                while f"{label}#{suffix}" in taken:
+                    suffix += 1
+                label = f"{label}#{suffix}"
+            labels[id(graph)] = label
+            taken.add(label)
+            ordinal += 1
+        return labels
+
+    def _pickle_culprits(
+        self, work: Sequence[Tuple[PipelineGraph, SweepPoint]], warn: bool = False
+    ) -> List[str]:
+        culprits: List[str] = []
+        seen: set = set()
+        for graph, _ in work:
+            if id(graph) in seen:
+                continue
+            seen.add(id(graph))
+            culprit = _closure_culprit(graph)
+            if culprit is not None:
+                culprits.append(culprit)
+                if warn:
+                    _warn_serial_fallback(graph, culprit)
+        return culprits
+
+    def _sweep_serial(
+        self,
+        work: Sequence[Tuple[PipelineGraph, SweepPoint]],
+        labels: Dict[int, str],
+    ) -> List[SweepResult]:
         return [
             _sweep_point_result(
                 graph,
@@ -290,32 +530,66 @@ class Session:
                 stage_summaries=(
                     self.stage_summaries(graph, point.arch) if point.scheme == "cusync" else None
                 ),
+                graph_label=labels[id(graph)],
             )
-            for point in points
+            for graph, point in work
         ]
 
-    @staticmethod
-    def _picklable_payloads(
-        graph: PipelineGraph,
-        points: List[SweepPoint],
-        cost_model_for=None,
-    ) -> Optional[List[Tuple[PipelineGraph, SweepPoint, Optional[CostModel]]]]:
-        """Payloads for the process pool, or ``None`` if the graph cannot cross.
+    def _sweep_threaded(
+        self,
+        work: Sequence[Tuple[PipelineGraph, SweepPoint]],
+        labels: Dict[int, str],
+        workers: Optional[int],
+    ) -> List[SweepResult]:
+        # Pre-warm the session's per-arch cost-model and stage-summary
+        # caches serially so worker threads only read them; a per-graph
+        # lock serializes points that share a graph (executors re-bind the
+        # graph's kernels for every run, and two concurrent bindings of one
+        # graph would race).
+        locks: Dict[int, threading.Lock] = {}
+        summaries: Dict[Tuple[int, int], Dict[str, StageSummary]] = {}
+        for graph, point in work:
+            self.cost_model(point.arch)
+            if point.scheme == "cusync":
+                summaries[(id(graph), id(point.arch))] = self.stage_summaries(graph, point.arch)
+            locks.setdefault(id(graph), threading.Lock())
 
-        Graphs whose kernels hold ad-hoc closures (locally defined range
-        maps or transforms) cannot be pickled; sweeps of those graphs run
-        serially in-process, which produces the same results.  Each payload
-        carries the point's cost model so workers compute with exactly the
-        values the serial path would use.
-        """
-        if not points:
-            return []
+        def evaluate(item: Tuple[PipelineGraph, SweepPoint]) -> SweepResult:
+            graph, point = item
+            with locks[id(graph)]:
+                return _sweep_point_result(
+                    graph,
+                    point,
+                    cost_model=self.cost_model(point.arch),
+                    stage_summaries=summaries.get((id(graph), id(point.arch))),
+                    graph_label=labels[id(graph)],
+                )
+
+        max_workers = workers if workers else min(8, len(work))
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(evaluate, work))
+
+    def _sweep_processes(
+        self,
+        work: Sequence[Tuple[PipelineGraph, SweepPoint]],
+        labels: Dict[int, str],
+        workers: Optional[int],
+    ) -> List[SweepResult]:
         payloads = [
-            (graph, point, cost_model_for(point.arch) if cost_model_for is not None else None)
-            for point in points
+            (graph, point, self.cost_model(point.arch), labels[id(graph)])
+            for graph, point in work
         ]
-        try:
-            pickle.dumps(payloads[0])
-        except Exception:
-            return None
-        return payloads
+        max_workers = workers if workers else min(8, len(work))
+        pool_usable = True
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            try:
+                # Probe that worker processes actually start (some sandboxes
+                # forbid them); after a successful probe, genuine worker
+                # crashes propagate to the caller instead of silently
+                # re-running serially.
+                pool.submit(int, 0).result()
+            except (OSError, RuntimeError):
+                pool_usable = False
+            if pool_usable:
+                return list(pool.map(_sweep_worker, payloads))
+        return self._sweep_serial(work, labels)

@@ -128,25 +128,147 @@ class TestSweep:
         # test GPU has different wave structure and zero launch latency).
         assert results[0].total_time_us != results[1].total_time_us
 
-    def test_sweep_with_unpicklable_graph_falls_back_serial(self):
+    def test_sweep_with_unpicklable_graph_falls_back_serial_with_warning(self):
         """Attention graphs carry closure range-maps and cannot cross
-        process boundaries; the sweep must transparently run serially."""
-        from repro.pipeline.session import SweepPoint
+        process boundaries; the automatic mode must fall back to the serial
+        path with a one-time warning that names the offending stage/edge
+        and points at ``mode="thread"``."""
+        import warnings
+
+        from repro.pipeline.session import _FALLBACK_WARNED, _closure_culprit
 
         workload = Attention(config=TINY, batch=1, seq=64)
         graph = workload.to_graph()
-        point = SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
-        assert Session._picklable_payloads(graph, [point]) is None  # closures don't pickle
-        results = Session(arch=workload.arch).sweep(
-            graph, policies=("TileSync", "StridedTileSync"), workers=2
-        )
+        culprit = _closure_culprit(graph)
+        assert culprit is not None and "attn_qkv" in culprit  # closures don't pickle
+
+        _FALLBACK_WARNED.clear()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            results = Session(arch=workload.arch).sweep(
+                graph, policies=("TileSync", "StridedTileSync"), workers=2
+            )
+            # The fallback is announced once, not once per sweep call.
+            again = Session(arch=workload.arch).sweep(
+                graph, policies=("TileSync", "StridedTileSync"), workers=2
+            )
+        fallback_warnings = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+            and "mode='thread'" in str(w.message)
+        ]
+        assert len(fallback_warnings) == 1
+        assert "attn_qkv" in str(fallback_warnings[0].message)
+
         serial = Session(arch=workload.arch).sweep(
             graph, policies=("TileSync", "StridedTileSync"), workers=0
         )
-        assert results == serial
+        assert results == serial == again
+
+    def test_explicit_process_mode_rejects_closure_graphs(self):
+        from repro.errors import SimulationError
+
+        workload = Attention(config=TINY, batch=1, seq=64)
+        graph = workload.to_graph()
+        with pytest.raises(SimulationError, match="mode='thread'"):
+            Session(arch=workload.arch).sweep(
+                graph, policies=("TileSync", "RowSync"), mode="process"
+            )
 
     def test_sweep_point_labels(self, workload):
         from repro.pipeline.session import SweepPoint
 
         point = SweepPoint(scheme="cusync", policy="RowSync", arch=TESLA_V100)
         assert point.label() == f"cusync:RowSync@{TESLA_V100.name}"
+
+
+class TestMultiGraphSweep:
+    """The redesigned Session.sweep: (graph, SweepPoint) work lists, policy
+    grids and the three execution modes, all bit-identical."""
+
+    def _work(self, workload):
+        from repro.pipeline import PolicyAssignment, SweepPoint, sweep_policies
+
+        mlp_graph = workload.to_graph()
+        attention = Attention(config=TINY, batch=1, seq=64)
+        attention_graph = attention.to_graph()
+        mixed = PolicyAssignment(
+            default="TileSync",
+            edges={("attn_qkv", "attn_scores"): "StridedTileSync",
+                   ("attn_softmax", "attn_values", "R"): "RowSync"},
+        )
+        work = sweep_policies(mlp_graph, ("TileSync", "RowSync"),
+                              arches=(workload.arch,), mixed=True)
+        work += sweep_policies(attention_graph, ("TileSync", "StridedTileSync"),
+                               arches=(attention.arch,))
+        work.append(
+            (attention_graph, SweepPoint(scheme="cusync", policy=mixed, arch=attention.arch))
+        )
+        work.append(
+            (mlp_graph, SweepPoint(scheme="streamsync", policy=None, arch=workload.arch))
+        )
+        return work
+
+    def test_thread_process_serial_modes_bit_identical(self, workload):
+        session = Session(arch=workload.arch)
+        work = self._work(workload)
+        serial = session.sweep(list(work), mode="serial")
+        threaded = session.sweep(list(work), mode="thread")
+        auto = Session(arch=workload.arch).sweep(list(work))  # fresh session: no shared caches
+        assert serial == threaded == auto
+        assert len(serial) == len(work)
+        assert all(result.total_time_us > 0.0 for result in serial)
+
+    def test_results_attributed_to_graphs(self, workload):
+        session = Session(arch=workload.arch)
+        results = session.sweep(self._work(workload), mode="serial")
+        labels = {result.graph_label for result in results}
+        assert len(labels) == 2
+        assert any(label.startswith("mlp") for label in labels)
+        assert any(label.startswith("attn") for label in labels)
+
+    def test_mixed_policy_points_evaluated(self, workload):
+        from repro.cusync.policies import PolicyAssignment
+
+        session = Session(arch=workload.arch)
+        results = session.sweep(self._work(workload), mode="thread")
+        mixed = [r for r in results if isinstance(r.policy, PolicyAssignment) and r.policy.edges]
+        assert mixed and all(r.total_time_us > 0.0 for r in mixed)
+        assert all("=" in r.policy_label for r in mixed)
+
+    def test_sweep_policies_mixed_grid_is_full_product(self, workload):
+        from repro.cusync.policies import PolicyAssignment, PolicySpec
+        from repro.pipeline import sweep_policies
+
+        graph = Attention(config=TINY, batch=1, seq=64).to_graph()
+        work = sweep_policies(
+            graph, ("TileSync", "RowSync"), arches=(workload.arch,), mixed=True
+        )
+        assert len(work) == 2 ** len(graph.edges)
+        policies = [point.policy for _, point in work]
+        uniform = [p for p in policies if isinstance(p, PolicySpec)]
+        assert len(uniform) == 2  # the product's diagonal stays uniform
+        assert len(set(policies)) == len(policies)  # hashable and distinct
+
+    def test_multi_graph_process_mode_with_picklable_graphs(self, workload):
+        """Two picklable graphs cross the process pool (or the probe falls
+        back serially in sandboxes) with results identical to serial."""
+        graph_a = workload.to_graph()
+        graph_b = GptMlp(config=TINY, batch_seq=128).to_graph()
+        from repro.pipeline.session import SweepPoint
+
+        work = [
+            (graph_a, SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)),
+            (graph_b, SweepPoint(scheme="cusync", policy="RowSync", arch=workload.arch)),
+            (graph_b, SweepPoint(scheme="streamsync", policy=None, arch=workload.arch)),
+        ]
+        session = Session(arch=workload.arch)
+        assert session.sweep(list(work), mode="process") == session.sweep(list(work), mode="serial")
+
+    def test_invalid_mode_and_work_items_rejected(self, workload):
+        from repro.errors import SimulationError
+
+        session = Session(arch=workload.arch)
+        with pytest.raises(SimulationError, match="unknown sweep mode"):
+            session.sweep(workload.to_graph(), mode="fleet")
+        with pytest.raises(SimulationError, match="work items"):
+            session.sweep([("not a graph", "not a point")], mode="serial")

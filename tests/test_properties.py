@@ -12,7 +12,17 @@ from repro.gpu.occupancy import KernelResources, OccupancyCalculator
 from repro.gpu.trace import analytic_utilization, wave_count
 from repro.kernels.base import StageGeometry
 from repro.cusync.custage import CuStage
-from repro.cusync.policies import BatchSync, Conv2DTileSync, RowSync, StridedSync, TileSync
+from repro.cusync.policies import (
+    BatchSync,
+    Conv2DTileSync,
+    PolicyContext,
+    PolicySpec,
+    RowSync,
+    StridedSync,
+    TileSync,
+    registered_policies,
+    resolve_policy,
+)
 from repro.cusync.tile_orders import ColumnMajorOrder, GroupedColumnsOrder, RowMajorOrder
 
 grids = st.builds(
@@ -23,6 +33,27 @@ grids = st.builds(
 )
 
 policies = st.sampled_from([TileSync(), RowSync(), Conv2DTileSync(), BatchSync()])
+
+
+def _registered_policy_instances(grid: Dim3):
+    """One instance of every registered family, resolved for ``grid``.
+
+    Parameterized families get a context-derived instantiation; families
+    whose requirements the grid cannot meet (e.g. StridedSync on a prime
+    grid.x) are instantiated with stride 1, which is always legal.
+    """
+    ctx = PolicyContext(
+        stage_name="prop", logical_grid=grid,
+        strided_groups=2 if grid.x % 2 == 0 and grid.x > 2 else None,
+    )
+    instances = []
+    for family in registered_policies():
+        if family == "StridedSync":
+            spec = PolicySpec(family, stride=1)
+        else:
+            spec = PolicySpec(family)
+        instances.append(resolve_policy(spec, ctx))
+    return instances
 
 
 class TestArithmeticProperties:
@@ -91,6 +122,58 @@ class TestPolicyProperties:
         count = policy.num_semaphores(grid)
         for tile in iter_tiles(grid):
             assert 0 <= policy.semaphore_index(tile, grid) < count
+
+    @given(grids)
+    @settings(max_examples=60, deadline=None)
+    def test_every_registered_family_upholds_invariants(self, grid):
+        """semaphore_index / expected_value invariants for every registered
+        policy family (including user registrations) over randomized grids:
+        indices in range, values >= 1, posts cover every semaphore's
+        expectation, and validate() accepts the grid."""
+        for policy in _registered_policy_instances(grid):
+            count = policy.num_semaphores(grid)
+            posted = {}
+            for tile in iter_tiles(grid):
+                index = policy.semaphore_index(tile, grid)
+                assert 0 <= index < count, (policy.name, tile)
+                assert policy.expected_value(tile, grid) >= 1, (policy.name, tile)
+                posted[index] = posted.get(index, 0) + 1
+            for tile in iter_tiles(grid):
+                index = policy.semaphore_index(tile, grid)
+                assert posted[index] >= policy.expected_value(tile, grid), (policy.name, tile)
+            policy.validate(grid)
+
+    @given(grids)
+    @settings(max_examples=60, deadline=None)
+    def test_batched_evaluation_matches_scalar(self, grid):
+        """The vectorized semaphore_indices / expected_values wrappers agree
+        element-for-element with the scalar methods for every registered
+        family (the hot-path planner and validate() rely on this)."""
+        zs, ys, xs = np.indices((grid.z, grid.y, grid.x))
+        for policy in _registered_policy_instances(grid):
+            batched_indices = policy.semaphore_indices(xs, ys, zs, grid)
+            batched_values = policy.expected_values(xs, ys, zs, grid)
+            for tile in iter_tiles(grid):
+                assert batched_indices[tile.z, tile.y, tile.x] == policy.semaphore_index(tile, grid)
+                assert batched_values[tile.z, tile.y, tile.x] == policy.expected_value(tile, grid)
+
+    @given(grids)
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_override_disables_inherited_batch_path(self, grid):
+        """A subclass overriding only the scalar mapping must not silently
+        reuse the parent's vectorized batch method."""
+
+        class ShiftedTileSync(TileSync):
+            def semaphore_index(self, tile, grid):
+                flat = (tile.z * grid.y + tile.y) * grid.x + tile.x
+                return (flat + 1) % grid.volume
+
+        policy = ShiftedTileSync()
+        zs, ys, xs = np.indices((grid.z, grid.y, grid.x))
+        batched = policy.semaphore_indices(xs, ys, zs, grid)
+        for tile in iter_tiles(grid):
+            assert batched[tile.z, tile.y, tile.x] == policy.semaphore_index(tile, grid)
+        policy.validate(grid)  # the shifted mapping is still a bijection
 
 
 class TestTileOrderProperties:
