@@ -12,6 +12,11 @@ defend.  Two numbers are recorded:
   and semaphore polling.
 * ``table4_mlp_s`` — wall time of one full :func:`table4_mlp` regeneration,
   the end-to-end workload the hot-path overhaul was profiled on.
+* ``attention_sweep_s`` — wall time of the GPT-3 attention graph under
+  TileSync + StridedTileSync on fresh sessions: the workload whose GeMMs
+  synchronize *both* operands, added to defend the shared body-segment
+  cache (waits are composed per distinct plan pair, no longer rebuilt per
+  column tile).
 
 ``BENCH_sim_throughput.json`` in the repository root is the **committed
 baseline**.  A plain run refreshes it (do this deliberately, on the
@@ -111,9 +116,29 @@ def measure_table4(repeats: int = REPEATS) -> float:
     return best
 
 
+def measure_attention(repeats: int = REPEATS) -> float:
+    """Best-of-``repeats`` wall time of the dual-sync-operand attention graph."""
+    from repro.models.attention import Attention
+    from repro.models.config import GPT3_145B
+    from repro.pipeline import Session
+
+    workload = Attention(config=GPT3_145B, batch=1, seq=512, cached=0)
+    graph = workload.to_graph()
+    Session(arch=workload.arch).run(graph, scheme="cusync", policy="TileSync")  # warm
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        session = Session(arch=workload.arch)
+        session.run(graph, scheme="cusync", policy="TileSync")
+        session.run(graph, scheme="cusync", policy="StridedTileSync")
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
 def run_benchmark(output_path: str = "") -> Dict[str, float]:
     record = measure_throughput()
     record["table4_mlp_s"] = measure_table4()
+    record["attention_sweep_s"] = measure_attention()
     path = output_path or os.environ.get("BENCH_SIM_THROUGHPUT_OUT", DEFAULT_OUTPUT)
     with open(path, "w") as handle:
         json.dump(record, handle, indent=1, sort_keys=True)
@@ -150,6 +175,13 @@ def compare_against_baseline(
             f"table4_mlp_s {record['table4_mlp_s']:.3f} exceeded "
             f"{ceiling:.3f} (baseline {baseline['table4_mlp_s']:.3f} * {tolerance}x tolerance)"
         )
+    if "attention_sweep_s" in baseline:
+        ceiling = baseline["attention_sweep_s"] * tolerance
+        if record["attention_sweep_s"] > ceiling:
+            failures.append(
+                f"attention_sweep_s {record['attention_sweep_s']:.3f} exceeded "
+                f"{ceiling:.3f} (baseline {baseline['attention_sweep_s']:.3f} * {tolerance}x tolerance)"
+            )
     return failures
 
 
@@ -159,6 +191,7 @@ def test_sim_throughput(capsys=None):
     print()
     print(f"simulator throughput: {record['blocks_per_sec']:,.0f} blocks/sec")
     print(f"table4_mlp regeneration: {record['table4_mlp_s']:.3f} s")
+    print(f"attention sweep: {record['attention_sweep_s']:.3f} s")
     # Loose floor (~20x below current hardware-dependent numbers) so CI
     # flags order-of-magnitude regressions without flaking on slow runners.
     assert record["blocks_per_sec"] > 10_000

@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     figure8_end_to_end,
     overhead_experiment,
     policy_ablation,
+    arch_comparison,
 )
 
 __all__ = [
@@ -34,4 +35,5 @@ __all__ = [
     "figure8_end_to_end",
     "overhead_experiment",
     "policy_ablation",
+    "arch_comparison",
 ]

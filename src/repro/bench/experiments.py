@@ -337,6 +337,38 @@ def figure8_end_to_end(
 
 
 # ----------------------------------------------------------------------
+# The five evaluation workloads, shared by the cross-cutting experiments
+# ----------------------------------------------------------------------
+def _model_workloads(
+    batch_seq: int,
+    seq: int,
+    conv_batch: int,
+    conv_channels: int,
+    arch: Optional[GpuArchitecture] = None,
+) -> List[Tuple[Workload, Tuple[str, ...]]]:
+    """The five model workloads paired with their policy families.
+
+    Shared by :func:`policy_ablation` and :func:`arch_comparison` so the
+    two experiments stay comparable workload for workload.  ``arch=None``
+    leaves each workload on its default (V100-tuned) configuration, which
+    is what the arch axis reuses across architectures.
+    """
+    resnet_spec = {spec.channels: spec for spec in RESNET38_LAYERS}[conv_channels]
+    vgg_spec = {spec.channels: spec for spec in VGG19_LAYERS}[conv_channels]
+    kwargs = {} if arch is None else {"arch": arch}
+    return [
+        (GptMlp(config=GPT3_145B, batch_seq=batch_seq, **kwargs), ("TileSync", "RowSync")),
+        (
+            LlamaMlp(config=LLAMA_65B, batch_seq=batch_seq, **kwargs),
+            ("TileSync", "RowSync", "StridedTileSync"),
+        ),
+        (Attention(config=GPT3_145B, batch=1, seq=seq, cached=0, **kwargs), LLM_POLICIES),
+        (ConvChain(resnet_spec, batch=conv_batch, **kwargs), CONV_POLICIES),
+        (ConvChain(vgg_spec, batch=conv_batch, **kwargs), CONV_POLICIES),
+    ]
+
+
+# ----------------------------------------------------------------------
 # Policy-space ablation — uniform families vs mixed per-edge assignments
 # ----------------------------------------------------------------------
 def policy_ablation(
@@ -362,21 +394,7 @@ def policy_ablation(
     Returns one row per (workload, policy) with the improvement over that
     workload's StreamSync baseline.
     """
-    resnet_spec = {spec.channels: spec for spec in RESNET38_LAYERS}[conv_channels]
-    vgg_spec = {spec.channels: spec for spec in VGG19_LAYERS}[conv_channels]
-    workloads: List[Tuple[Workload, Tuple[str, ...]]] = [
-        (GptMlp(config=GPT3_145B, batch_seq=batch_seq, arch=arch), ("TileSync", "RowSync")),
-        (
-            LlamaMlp(config=LLAMA_65B, batch_seq=batch_seq, arch=arch),
-            ("TileSync", "RowSync", "StridedTileSync"),
-        ),
-        (
-            Attention(config=GPT3_145B, batch=1, seq=seq, cached=0, arch=arch),
-            LLM_POLICIES,
-        ),
-        (ConvChain(resnet_spec, batch=conv_batch, arch=arch), CONV_POLICIES),
-        (ConvChain(vgg_spec, batch=conv_batch, arch=arch), CONV_POLICIES),
-    ]
+    workloads = _model_workloads(batch_seq, seq, conv_batch, conv_channels, arch=arch)
 
     def mixed_assignment(graph: PipelineGraph) -> Optional[PolicyAssignment]:
         """A representative per-edge mix for each workload family."""
@@ -431,6 +449,102 @@ def policy_ablation(
                 "improvement": (baseline - result.total_time_us) / baseline,
             }
         )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Cross-architecture comparison — the Figure 6/7/8 story per architecture
+# ----------------------------------------------------------------------
+def arch_comparison(
+    arches: Sequence = ("V100", "A100", "H100-SXM", "RTX-4090"),
+    batch_seq: int = 512,
+    seq: int = 512,
+    conv_batch: int = 1,
+    conv_channels: int = 256,
+    include_end_to_end: bool = True,
+    mode: str = "thread",
+) -> List[Dict[str, object]]:
+    """Reproduce the paper's speedup story per GPU architecture.
+
+    The paper evaluates on one V100 and notes the scheme carries to
+    Ampere; this experiment asks the quantitative question across the
+    registered architecture axis: for each of the five model workloads
+    (the Figure 6 MLP/attention blocks, the Figure 7 conv chains) and each
+    architecture, how much of the StreamSync time does the best cuSync
+    policy recover?  Each workload's graph is built **once** and re-run
+    under every ``(arch, scheme, policy)`` point — kernels are re-bound
+    per run, never rebuilt — via one multi-graph ``Session.sweep`` in
+    ``mode`` (thread by default: the attention and LLaMA graphs carry
+    closure range maps).  ``arches`` accepts registered names,
+    :class:`~repro.gpu.arch.ArchSpec` values (including
+    ``ArchSpec(...).scaled(...)`` what-ifs) and raw instances.
+
+    With ``include_end_to_end=True`` a Figure 8-style end-to-end row per
+    architecture (GPT-3 transformer-layer inference estimate) is appended.
+
+    Returns one row per (workload, arch, policy) with the improvement over
+    that workload's StreamSync baseline *on the same architecture*, plus a
+    ``best`` flag marking each (workload, arch)'s winning policy.
+    """
+    from repro.gpu.arch import resolve_arch
+    from repro.pipeline import sweep_archs
+
+    workloads = _model_workloads(batch_seq, seq, conv_batch, conv_channels)
+    session = Session()
+    work: List[Tuple[PipelineGraph, SweepPoint]] = []
+    for workload, families in workloads:
+        graph = workload.to_graph()
+        work.extend(
+            sweep_archs(graph, arches, policies=families, schemes=("streamsync", "cusync"))
+        )
+    results = session.sweep(work, mode=mode)
+
+    baselines: Dict[Tuple[str, str], float] = {
+        (result.graph_label, result.arch_name): result.total_time_us
+        for result in results
+        if result.scheme == "streamsync"
+    }
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        baseline = baselines[(result.graph_label, result.arch_name)]
+        label = result.policy_label if result.scheme == "cusync" else result.scheme
+        rows.append(
+            {
+                "workload": result.graph_label,
+                "arch": result.arch_name,
+                "policy": label,
+                "total_time_us": result.total_time_us,
+                "wait_time_us": result.total_wait_time_us,
+                "improvement": (baseline - result.total_time_us) / baseline,
+                "best": False,
+            }
+        )
+    # Flag the winning cusync policy per (workload, arch).
+    by_group: Dict[Tuple[str, str], List[Dict[str, object]]] = {}
+    for row in rows:
+        if row["policy"] != "streamsync":
+            by_group.setdefault((row["workload"], row["arch"]), []).append(row)
+    for group in by_group.values():
+        max(group, key=lambda row: row["improvement"])["best"] = True
+
+    if include_end_to_end:
+        for arch in arches:
+            resolved = resolve_arch(arch)
+            layer = TransformerLayer(
+                config=GPT3_145B, batch=1, seq=seq, cached=0, arch=resolved
+            )
+            estimate = layer.estimate()
+            rows.append(
+                {
+                    "workload": "end_to_end_gpt3_layer",
+                    "arch": resolved.name,
+                    "policy": "best",
+                    "total_time_us": estimate.cusync_us,
+                    "wait_time_us": 0.0,
+                    "improvement": estimate.improvement,
+                    "best": True,
+                }
+            )
     return rows
 
 

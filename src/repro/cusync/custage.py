@@ -58,6 +58,13 @@ class Dependency:
 class CuStage(SyncInterface):
     """Synchronization facilities of one kernel (the paper's ``CuStage``)."""
 
+    #: Whether a producer whose consumer edges *all* override its default
+    #: policy skips posting the (unused) slot-0 semaphore array.  A real
+    #: cuSync producer only posts the schemes its consumers registered, so
+    #: the elision is the faithful model; the flag exists so tests can
+    #: compare against the unelided behaviour.
+    elide_idle_slot0: bool = True
+
     def __init__(
         self,
         name: str,
@@ -90,6 +97,10 @@ class CuStage(SyncInterface):
         #: override this stage's default (slot 0 is ``self.policy``); each
         #: gets its own semaphore array and one extra post per output tile.
         self._edge_policies: List[SyncPolicy] = []
+        #: How many consumer edges synchronize through slot 0 (the stage's
+        #: default policy).  When every edge overrides the default, nobody
+        #: ever waits on the slot-0 array and its posts are elided.
+        self._slot0_edges: int = 0
         # Validate the policy against the logical grid up front (the bounds
         # check cuSyncGen performs in step 2 of its workflow).
         self.policy.validate(self.logical_grid)
@@ -143,6 +154,10 @@ class CuStage(SyncInterface):
             )
         if policy is not None:
             policy = producer.register_edge_policy(policy)
+        if policy is None:
+            # The edge synchronizes through the producer's default policy
+            # (slot 0), which therefore must keep posting.
+            producer._slot0_edges += 1
         self.dependencies[tensor] = Dependency(
             producer=producer, tensor=tensor, range_map=range_map, policy=policy
         )
@@ -330,13 +345,34 @@ class CuStage(SyncInterface):
     # ------------------------------------------------------------------
     # SyncInterface: producer side
     # ------------------------------------------------------------------
+    @property
+    def slot0_posts_elided(self) -> bool:
+        """Whether the stage's default (slot-0) semaphore posts are skipped.
+
+        True exactly when consumer edges exist, every one of them overrides
+        the stage's default policy, and elision is enabled: no wait ever
+        reads the slot-0 array, so a faithful producer does not pay the
+        atomic increments for it (per-policy-slot post elision).
+        """
+        return (
+            self.elide_idle_slot0
+            and bool(self._edge_policies)
+            and self._slot0_edges == 0
+        )
+
     def posts_for(self, tile: Dim3, grid: Dim3) -> List[SemPost]:
         if not self.is_producer:
             return []
         logical = self.logical_tile(tile)
-        posts = [
-            SemPost(self.semaphore_array, self.policy.semaphore_index(logical, self.logical_grid), 1)
-        ]
+        posts = []
+        if not self.slot0_posts_elided:
+            posts.append(
+                SemPost(
+                    self.semaphore_array,
+                    self.policy.semaphore_index(logical, self.logical_grid),
+                    1,
+                )
+            )
         # Consumer edges that override this stage's policy synchronize
         # through their own slot: the block posts once per distinct policy
         # (the CUDA analogue would increment one semaphore array per

@@ -25,7 +25,20 @@ overlap between kernels, busy-wait occupancy and deadlocks all emerge from
 the model rather than being hard-coded.
 """
 
-from repro.gpu.arch import GpuArchitecture, TESLA_V100, AMPERE_A100
+from repro.gpu.arch import (
+    ADA_RTX_4090,
+    AMPERE_A100,
+    ArchLike,
+    ArchSpec,
+    GpuArchitecture,
+    HOPPER_H100,
+    TESLA_V100,
+    canonical_arch_key,
+    register_arch,
+    registered_archs,
+    resolve_arch,
+    unregister_arch,
+)
 from repro.gpu.occupancy import OccupancyCalculator, KernelResources
 from repro.gpu.memory import GlobalMemory, SemaphoreArray
 from repro.gpu.stream import Stream, StreamManager
@@ -45,6 +58,15 @@ __all__ = [
     "GpuArchitecture",
     "TESLA_V100",
     "AMPERE_A100",
+    "HOPPER_H100",
+    "ADA_RTX_4090",
+    "ArchLike",
+    "ArchSpec",
+    "canonical_arch_key",
+    "register_arch",
+    "registered_archs",
+    "resolve_arch",
+    "unregister_arch",
     "OccupancyCalculator",
     "KernelResources",
     "GlobalMemory",

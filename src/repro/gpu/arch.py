@@ -1,4 +1,4 @@
-"""GPU architecture descriptions.
+"""GPU architecture descriptions and the first-class architecture space.
 
 The quantities modeled here are the ones the paper's analysis depends on:
 
@@ -11,15 +11,31 @@ The quantities modeled here are the ones the paper's analysis depends on:
 
 The default preset is an NVIDIA Tesla V100 (the paper's evaluation GPU,
 80 SMs).  An A100 preset is provided because the paper notes the wait-kernel
-scheduling assumption holds on Volta and Ampere.
+scheduling assumption holds on Volta and Ampere; H100-SXM and RTX-4090
+presets extend the axis to Hopper and a consumer Ada part with a different
+occupancy geometry (1536 threads / 24 blocks per SM) and a higher host
+launch latency.
+
+On top of the dataclass this module provides the **architecture space
+API**, mirroring the policy space of :mod:`repro.cusync.policies`:
+
+* :class:`ArchSpec` — a hashable, picklable ``(name, overrides)`` value
+  naming an architecture without holding the instance;
+* a user-extensible registry (:func:`register_arch`, :func:`resolve_arch`,
+  :func:`registered_archs`) that subsumes passing raw
+  :class:`GpuArchitecture` objects around — architecture axes of sweeps
+  take names/specs that resolve in worker processes;
+* :meth:`ArchSpec.with_overrides` / :meth:`ArchSpec.scaled` constructors
+  for what-if studies ("half the SMs", "2x the bandwidth").
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
 
-from repro.common.validation import check_positive
+from repro.common.validation import check_non_negative, check_positive
+from repro.errors import ModelConfigError
 
 
 @dataclass(frozen=True)
@@ -73,10 +89,34 @@ class GpuArchitecture:
     extras: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        # Construction-time validation of every quantity downstream code
+        # derives from: occupancy bounds, throughput/bandwidth rates and
+        # synchronization latencies.  A bad override (a scaled() factor of
+        # zero, a negative latency) fails here, not deep inside a sweep.
         check_positive("num_sms", self.num_sms)
         check_positive("max_blocks_per_sm", self.max_blocks_per_sm)
+        check_positive("max_threads_per_sm", self.max_threads_per_sm)
+        check_positive("max_threads_per_block", self.max_threads_per_block)
+        check_positive("registers_per_sm", self.registers_per_sm)
+        check_positive("shared_memory_per_sm", self.shared_memory_per_sm)
         check_positive("fp16_flops_per_sm_us", self.fp16_flops_per_sm_us)
+        check_positive("fp32_flops_per_sm_us", self.fp32_flops_per_sm_us)
         check_positive("bytes_per_sm_us", self.bytes_per_sm_us)
+        if self.max_threads_per_block > self.max_threads_per_sm:
+            raise ValueError(
+                f"max_threads_per_block ({self.max_threads_per_block}) exceeds "
+                f"max_threads_per_sm ({self.max_threads_per_sm}): no block "
+                "could ever be resident (occupancy would be zero)"
+            )
+        for latency_field in (
+            "global_latency_us",
+            "atomic_latency_us",
+            "fence_latency_us",
+            "kernel_launch_latency_us",
+            "kernel_dispatch_latency_us",
+            "wait_resume_latency_us",
+        ):
+            check_non_negative(latency_field, getattr(self, latency_field))
         if not (0.0 < self.compute_efficiency <= 1.0):
             raise ValueError(f"compute_efficiency must be in (0, 1], got {self.compute_efficiency}")
         if not (0.0 < self.memory_efficiency <= 1.0):
@@ -102,6 +142,13 @@ class GpuArchitecture:
 
     def with_overrides(self, **kwargs) -> "GpuArchitecture":
         """Return a copy with some fields replaced (for what-if studies)."""
+        known = {f.name for f in fields(self)}
+        unknown = set(kwargs) - known
+        if unknown:
+            raise ModelConfigError(
+                f"unknown GpuArchitecture field(s) {sorted(unknown)}; "
+                f"valid fields: {', '.join(sorted(known))}"
+            )
         return replace(self, **kwargs)
 
 
@@ -148,3 +195,348 @@ AMPERE_A100 = GpuArchitecture(
     wait_resume_latency_us=0.4,
     extras={"nvlink_bandwidth_bytes_us": 300_000.0},
 )
+
+#: NVIDIA H100-SXM5 80GB — the Hopper data-center part.  Included so the
+#: arch-comparison experiments can ask whether the paper's speedup story
+#: (Figures 6–8) carries past Ampere: more SMs, much higher tensor
+#: throughput and bandwidth, slightly lower synchronization latencies.
+HOPPER_H100 = GpuArchitecture(
+    name="H100-SXM",
+    num_sms=132,
+    max_blocks_per_sm=32,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    shared_memory_per_sm=228 * 1024,
+    fp16_flops_per_sm_us=7.49e6,   # ~989 TFLOP/s dense FP16 / 132 SMs
+    fp32_flops_per_sm_us=0.51e6,   # ~67 TFLOP/s / 132 SMs
+    bytes_per_sm_us=25380.0,       # ~3.35 TB/s HBM3 / 132 SMs
+    global_latency_us=0.45,
+    atomic_latency_us=0.3,
+    fence_latency_us=0.22,
+    kernel_launch_latency_us=4.5,
+    kernel_dispatch_latency_us=2.2,
+    wait_resume_latency_us=0.35,
+    extras={"nvlink_bandwidth_bytes_us": 450_000.0},
+)
+
+#: NVIDIA GeForce RTX 4090 — a consumer Ada part with a *deliberately*
+#: different shape from the data-center GPUs: 128 SMs but only 1536
+#: resident threads / 24 blocks per SM (so the same kernel reaches a
+#: different occupancy), GDDR6X bandwidth far below HBM, no NVLink, and a
+#: higher host launch latency (PCIe).  Exercises the parts of the model the
+#: SXM presets cannot.
+ADA_RTX_4090 = GpuArchitecture(
+    name="RTX-4090",
+    num_sms=128,
+    max_blocks_per_sm=24,
+    max_threads_per_sm=1536,
+    max_threads_per_block=1024,
+    registers_per_sm=65536,
+    shared_memory_per_sm=100 * 1024,
+    fp16_flops_per_sm_us=1.29e6,   # ~165 TFLOP/s dense FP16 / 128 SMs
+    fp32_flops_per_sm_us=0.645e6,  # ~82.6 TFLOP/s / 128 SMs
+    bytes_per_sm_us=7875.0,        # ~1.008 TB/s GDDR6X / 128 SMs
+    global_latency_us=0.7,
+    atomic_latency_us=0.45,
+    fence_latency_us=0.35,
+    kernel_launch_latency_us=9.0,
+    kernel_dispatch_latency_us=3.5,
+    wait_resume_latency_us=0.6,
+    extras={},
+)
+
+
+# ======================================================================
+# The first-class architecture space: specs and the registry
+# ======================================================================
+#: What architecture axes accept everywhere: a registered name, a spec, or
+#: a raw (possibly unregistered) instance.
+ArchLike = Union[str, "ArchSpec", GpuArchitecture]
+
+
+class ArchSpec:
+    """A registered architecture name plus field overrides, without an instance.
+
+    Specs are the *declarative* half of the architecture space, mirroring
+    :class:`~repro.cusync.policies.PolicySpec`: hashable (usable as dict
+    keys and inside frozen dataclasses such as
+    :class:`~repro.pipeline.session.SweepPoint`), picklable (they cross
+    process boundaries in parallel sweeps and resolve against the registry
+    on the other side) and cheap::
+
+        ArchSpec("V100")
+        ArchSpec("A100", num_sms=64)
+        ArchSpec("H100-SXM").scaled(bandwidth=0.5)
+
+    Override values must be hashable (numbers and strings are).
+    """
+
+    __slots__ = ("name", "overrides")
+
+    def __init__(self, name: str, /, **overrides: Any) -> None:
+        # ``name`` is positional-only so a ``name=...`` keyword becomes an
+        # override of the GpuArchitecture *field* (used by scaled()).
+        if not isinstance(name, str) or not name:
+            raise ModelConfigError("ArchSpec needs a non-empty architecture name")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "overrides", tuple(sorted(overrides.items())))
+
+    @classmethod
+    def _from_state(cls, name: str, overrides: Tuple[Tuple[str, Any], ...]) -> "ArchSpec":
+        spec = cls.__new__(cls)
+        object.__setattr__(spec, "name", name)
+        object.__setattr__(spec, "overrides", tuple(overrides))
+        return spec
+
+    @classmethod
+    def coerce(cls, value: Union[str, "ArchSpec"]) -> "ArchSpec":
+        """Lower an architecture name string to a spec; pass specs through."""
+        if isinstance(value, ArchSpec):
+            return value
+        if isinstance(value, str):
+            return cls(value)
+        raise ModelConfigError(
+            f"expected an architecture name or ArchSpec, got {value!r} "
+            "(GpuArchitecture instances are accepted directly by resolve_arch)"
+        )
+
+    # ------------------------------------------------------------------
+    def override(self, name: str, default: Any = None) -> Any:
+        return dict(self.overrides).get(name, default)
+
+    def with_overrides(self, **overrides: Any) -> "ArchSpec":
+        """A spec with additional field overrides merged over this one's."""
+        merged = dict(self.overrides)
+        merged.update(overrides)
+        return ArchSpec(self.name, **merged)
+
+    def scaled(
+        self,
+        sms: float = 1.0,
+        compute: float = 1.0,
+        bandwidth: float = 1.0,
+        latency: float = 1.0,
+    ) -> "ArchSpec":
+        """A what-if spec scaling the resolved architecture's rate quantities.
+
+        ``sms`` multiplies the SM count (rounded, at least 1), ``compute``
+        the FP16/FP32 per-SM throughputs, ``bandwidth`` the per-SM memory
+        bandwidth and ``latency`` every synchronization/launch latency.
+        The result is still a spec — picklable and registry-resolved — whose
+        name records the applied factors.
+        """
+        for label, factor in (("sms", sms), ("compute", compute),
+                              ("bandwidth", bandwidth), ("latency", latency)):
+            if factor <= 0.0:
+                raise ModelConfigError(f"scaled() factor {label} must be positive, got {factor}")
+        base = self.resolve()
+        overrides = dict(self.overrides)
+        applied = []
+        if sms != 1.0:
+            overrides["num_sms"] = max(1, round(base.num_sms * sms))
+            applied.append(f"sms*{sms:g}")
+        if compute != 1.0:
+            overrides["fp16_flops_per_sm_us"] = base.fp16_flops_per_sm_us * compute
+            overrides["fp32_flops_per_sm_us"] = base.fp32_flops_per_sm_us * compute
+            applied.append(f"compute*{compute:g}")
+        if bandwidth != 1.0:
+            overrides["bytes_per_sm_us"] = base.bytes_per_sm_us * bandwidth
+            applied.append(f"bw*{bandwidth:g}")
+        if latency != 1.0:
+            for latency_field in (
+                "global_latency_us", "atomic_latency_us", "fence_latency_us",
+                "kernel_launch_latency_us", "kernel_dispatch_latency_us",
+                "wait_resume_latency_us",
+            ):
+                overrides[latency_field] = getattr(base, latency_field) * latency
+            applied.append(f"lat*{latency:g}")
+        if applied:
+            overrides["name"] = f"{base.name}[{','.join(applied)}]"
+        return ArchSpec(self.name, **overrides)
+
+    def resolve(self) -> GpuArchitecture:
+        """The concrete :class:`GpuArchitecture` this spec names."""
+        return resolve_arch(self)
+
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        if not self.overrides:
+            return self.name
+        rendered = ",".join(f"{key}={value}" for key, value in self.overrides)
+        return f"{self.name}({rendered})"
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("ArchSpec is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ArchSpec):
+            return NotImplemented
+        return (self.name.lower(), self.overrides) == (other.name.lower(), other.overrides)
+
+    def __hash__(self) -> int:
+        return hash((self.name.lower(), self.overrides))
+
+    def __reduce__(self):
+        return (ArchSpec._from_state, (self.name, self.overrides))
+
+    def __repr__(self) -> str:
+        return f"ArchSpec({self.label()!r})"
+
+
+@dataclass(frozen=True)
+class _ArchEntry:
+    canonical: str
+    arch: GpuArchitecture
+
+
+_ARCH_REGISTRY: Dict[str, _ArchEntry] = {}
+#: Memoized spec resolutions: equal specs resolve to the *same* instance,
+#: so identity-keyed caches downstream (sessions) coalesce naturally.
+#: Cleared whenever the registry changes.
+_RESOLVE_CACHE: Dict["ArchSpec", GpuArchitecture] = {}
+#: Bumped on every registry mutation.  Holders of spec-keyed derived
+#: caches (e.g. Session cost models) compare it to drop entries whose
+#: resolution may have changed under them.
+_REGISTRY_GENERATION: int = 0
+
+
+def arch_registry_generation() -> int:
+    """Monotonic counter of registry mutations (for cache invalidation)."""
+    return _REGISTRY_GENERATION
+
+
+def register_arch(
+    name: str,
+    arch: GpuArchitecture,
+    *,
+    aliases: Iterable[str] = (),
+    overwrite: bool = False,
+) -> GpuArchitecture:
+    """Register ``arch`` under ``name`` (and ``aliases``), case-insensitively.
+
+    Registered architectures are addressable by name everywhere an
+    architecture axis appears — ``SweepPoint.arch``, ``Session(arch=...)``,
+    ``sweep_archs(...)`` — and resolve inside worker processes (register
+    custom architectures at module import time so workers see them too).
+    Re-registering a taken name raises unless ``overwrite=True``.
+    """
+    if not isinstance(arch, GpuArchitecture):
+        raise ModelConfigError(
+            f"register_arch expects a GpuArchitecture, got {arch!r}"
+        )
+    entry = _ArchEntry(canonical=name, arch=arch)
+    names = [candidate.lower() for candidate in (name, *aliases)]
+    # Validate every name before touching the registry, so a conflicting
+    # alias can neither leave a partial registration behind nor destroy
+    # the previous one.  ``overwrite`` only excuses collisions with this
+    # architecture's *own* previous registration; claiming a name that
+    # belongs to a different architecture still raises.
+    for candidate in names:
+        existing = _ARCH_REGISTRY.get(candidate)
+        if existing is None:
+            continue
+        if overwrite and existing.canonical.lower() == name.lower():
+            continue
+        raise ModelConfigError(
+            f"architecture {candidate!r} is already registered "
+            f"(for {existing.canonical!r}); pass overwrite=True to replace it"
+        )
+    if overwrite:
+        # Replace the whole previous registration: drop every entry (alias
+        # included) whose canonical name matches, so no stale alias keeps
+        # resolving to the old architecture.
+        for key in [
+            k for k, e in _ARCH_REGISTRY.items() if e.canonical.lower() == name.lower()
+        ]:
+            del _ARCH_REGISTRY[key]
+    for candidate in names:
+        _ARCH_REGISTRY[candidate] = entry
+    _bump_generation()
+    return arch
+
+
+def unregister_arch(name: str) -> None:
+    """Remove an architecture and every alias registered for it."""
+    canonical = _registry_entry(name).canonical.lower()
+    for key in [k for k, e in _ARCH_REGISTRY.items() if e.canonical.lower() == canonical]:
+        del _ARCH_REGISTRY[key]
+    _bump_generation()
+
+
+def _bump_generation() -> None:
+    global _REGISTRY_GENERATION
+    _REGISTRY_GENERATION += 1
+    _RESOLVE_CACHE.clear()
+
+
+def registered_archs() -> Tuple[str, ...]:
+    """Canonical names of every registered architecture, sorted."""
+    return tuple(sorted({entry.canonical for entry in _ARCH_REGISTRY.values()}))
+
+
+def _registry_entry(name: str) -> _ArchEntry:
+    entry = _ARCH_REGISTRY.get(name.lower())
+    if entry is None:
+        raise ModelConfigError(
+            f"unknown GPU architecture {name!r}; registered: "
+            f"{', '.join(registered_archs())}"
+        )
+    return entry
+
+
+def resolve_arch(value: ArchLike) -> GpuArchitecture:
+    """Turn an architecture name / spec into a concrete instance.
+
+    :class:`GpuArchitecture` instances pass through unchanged (the legacy
+    path); strings lower to override-free specs.  Equal specs resolve to
+    the same memoized instance, so repeated resolution is free and
+    identity-keyed caches coalesce.
+    """
+    if isinstance(value, GpuArchitecture):
+        return value
+    spec = ArchSpec.coerce(value)
+    cached = _RESOLVE_CACHE.get(spec)
+    if cached is not None:
+        return cached
+    base = _registry_entry(spec.name).arch
+    if spec.overrides:
+        values = dict(spec.overrides)
+        if "name" not in values:
+            # Distinct override specs must resolve to distinctly *named*
+            # architectures: results keyed by arch name (sweep baselines,
+            # comparison tables) would otherwise silently collide with the
+            # unmodified preset.
+            rendered = ",".join(f"{key}={value}" for key, value in spec.overrides)
+            values["name"] = f"{base.name}({rendered})"
+        resolved = base.with_overrides(**values)
+    else:
+        resolved = base
+    _RESOLVE_CACHE[spec] = resolved
+    return resolved
+
+
+def canonical_arch_key(value: ArchLike):
+    """A hashable cache key identifying ``value``'s architecture.
+
+    Names and specs key by the spec itself, so two equal specs (even across
+    pickling) share cached cost models and stage geometry.  A raw instance
+    that is value-equal to a registered preset keys as that preset's spec —
+    the historical ``Session(arch=TESLA_V100)`` path lands on the same
+    entry as ``Session(arch="V100")``.  Anything else keys by object
+    identity, preserving the legacy instance-path semantics (the caller
+    must keep the instance alive, which sessions do by storing it in the
+    cache value).
+    """
+    if isinstance(value, GpuArchitecture):
+        for entry in _ARCH_REGISTRY.values():
+            if entry.arch == value:
+                return ArchSpec(entry.canonical)
+        return ("arch-instance", id(value))
+    return ArchSpec.coerce(value)
+
+
+register_arch("V100", TESLA_V100, aliases=("tesla-v100", "tesla v100", "volta"))
+register_arch("A100", AMPERE_A100, aliases=("ampere",))
+register_arch("H100-SXM", HOPPER_H100, aliases=("h100", "hopper"))
+register_arch("RTX-4090", ADA_RTX_4090, aliases=("4090", "ada"))

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -249,6 +249,13 @@ class GemmKernel(TiledKernel):
         #: Shared main-loop segment lists, keyed by the ranges that actually
         #: influence them (see :meth:`build_block_program`).
         self._body_segment_cache: dict = {}
+        #: Base main-loop segments *without* the B operand's waits, keyed by
+        #: the A-side plan and the B step's span.  When both operands are
+        #: synchronized the full body differs per column tile solely in the
+        #: waits the B plan contributes, so the expensive plan merge runs
+        #: once per base key and each column tile composes in O(1) (see
+        #: :meth:`_cached_body` / :meth:`_compose_body`).
+        self._base_body_cache: dict = {}
         self._grid_cache: Optional[Dim3] = None
 
     def stage_geometry(self) -> StageGeometry:
@@ -282,36 +289,178 @@ class GemmKernel(TiledKernel):
         tile_n_actual = cols[1] - cols[0]
 
         # Main-loop segments carry no per-tile state beyond what their read
-        # plans dictate: the A plan depends on ``rows`` only when A is a
-        # synchronized input (otherwise only the tile height matters, for
-        # the duration), and symmetrically for B and ``cols``.  Outside
-        # functional mode (whose compute closures capture absolute ranges)
-        # the immutable segment list can therefore be shared by every block
-        # with the same key — build_program does O(1) planning work per
-        # block after the first tile of each row/column.
+        # plans dictate, and the plans themselves are memoized (shared
+        # lists) by the producing stage.  Outside functional mode (whose
+        # compute closures capture absolute ranges) the immutable segment
+        # list can therefore be shared by every block whose operand plans
+        # are identical — build_program does O(1) planning work per block
+        # after the first tile of each distinct plan combination.
         if self.functional:
             body = self._body_segments(
                 rows, cols, k_range, batch_index, tile_m_actual, tile_n_actual, occupancy
             )
         else:
-            body_key = (
-                rows if problem.a in self.sync_inputs else tile_m_actual,
-                cols if problem.b in self.sync_inputs else tile_n_actual,
-                k_range,
-                batch_index,
+            body = self._cached_body(
+                rows, cols, k_range, batch_index, tile_m_actual, tile_n_actual, occupancy
             )
-            body = self._body_segment_cache.get(body_key)
-            if body is None:
-                body = self._body_segments(
-                    rows, cols, k_range, batch_index, tile_m_actual, tile_n_actual, occupancy
-                )
-                self._body_segment_cache[body_key] = body
 
         segments = list(body)
         segments.extend(
             self._epilogue_segments(tile, batch_index, rows, cols, tile_m_actual, tile_n_actual, occupancy)
         )
         return ThreadBlockProgram(tile=tile, segments=segments)
+
+    @staticmethod
+    def _neutral_plan(plan: List[ReadPlanStep], span: IndexRange, axis: str) -> bool:
+        """Whether ``plan`` is a single waitless step exactly covering ``span``.
+
+        Such plans (unsynchronized operands, ``NoSync`` bindings) contribute
+        nothing to the merge beyond the span itself, so bodies built from
+        them are shared by tile shape rather than plan identity.
+        """
+        if len(plan) != 1:
+            return False
+        step = plan[0]
+        if step.waits or step.reads:
+            return False
+        covered = step.cols if axis == "cols" else step.rows
+        return covered == span
+
+    def _cached_body(
+        self,
+        rows: IndexRange,
+        cols: IndexRange,
+        k_range: IndexRange,
+        batch_index: int,
+        tile_m_actual: int,
+        tile_n_actual: int,
+        occupancy: int,
+    ) -> List[Segment]:
+        """Memoized body segments, keyed by the operand plans' identities.
+
+        Operand read plans are memoized shared lists (the producing stage
+        caches them per distinct requested range), so their object
+        identities key the body cache exactly: equal ids mean equal plans.
+        Each cache value retains its plan lists, which keeps their ids from
+        being recycled while the entry lives.  Waitless single-step plans
+        (unsynchronized operands and ``NoSync`` bindings, which return a
+        fresh plain step per call) collapse to the tile extent instead, so
+        a StreamSync binding shares one body across its whole grid.
+        """
+        problem = self.problem
+        # Unsynchronized operands need no plan at all to derive the key (a
+        # fresh plain step per block would only be allocation churn); their
+        # plan is materialized lazily on a cache miss.
+        a_plan = (
+            self._plan_operand(problem.a, rows, k_range, batch_index)
+            if problem.a in self.sync_inputs
+            else None
+        )
+        b_plan = (
+            self._plan_operand(problem.b, k_range, cols, batch_index, rows_are_k=True)
+            if problem.b in self.sync_inputs
+            else None
+        )
+        a_key = (
+            tile_m_actual
+            if a_plan is None or self._neutral_plan(a_plan, k_range, "cols")
+            else id(a_plan)
+        )
+        b_key = (
+            tile_n_actual
+            if b_plan is None or self._neutral_plan(b_plan, k_range, "rows")
+            else id(b_plan)
+        )
+        key = (a_key, b_key, tile_m_actual, tile_n_actual, k_range, batch_index)
+        entry = self._body_segment_cache.get(key)
+        if entry is None:
+            built_a = (
+                a_plan
+                if a_plan is not None
+                else [ReadPlanStep(rows=rows, cols=k_range, batch=batch_index)]
+            )
+            built_b = (
+                b_plan
+                if b_plan is not None
+                else [ReadPlanStep(rows=k_range, cols=cols, batch=batch_index)]
+            )
+            segments = self._compose_body(
+                built_a, built_b, rows, cols, k_range, batch_index,
+                tile_m_actual, tile_n_actual, occupancy, a_key,
+            )
+            entry = (segments, a_plan, b_plan)
+            self._body_segment_cache[key] = entry
+        return entry[0]
+
+    def _compose_body(
+        self,
+        a_plan: List[ReadPlanStep],
+        b_plan: List[ReadPlanStep],
+        rows: IndexRange,
+        cols: IndexRange,
+        k_range: IndexRange,
+        batch_index: int,
+        tile_m_actual: int,
+        tile_n_actual: int,
+        occupancy: int,
+        a_key,
+    ) -> List[Segment]:
+        """Body segments for one distinct (A plan, B plan) combination.
+
+        :func:`_merge_k_plans` splits the K loop at the single B step's row
+        span and attaches the B waits to the chunk starting at
+        ``b.rows[0]``; the chunk structure depends on the B step's *span*
+        but not its waits.  The merged-and-priced A-side segment list is
+        therefore cached once per (A plan, B span) — ``_base_body_cache`` —
+        and every distinct B step with the same span composes one fresh
+        segment in O(1) instead of re-running the plan merge: a TileSync
+        consumer of both operands no longer rebuilds its waits per column
+        tile.  Multi-step B plans take the full merge, which is
+        value-identical by construction.
+        """
+        if len(b_plan) != 1:
+            return self._body_segments_indexed(
+                rows, cols, k_range, batch_index, tile_m_actual, tile_n_actual, occupancy,
+                a_plan=a_plan, b_plan=b_plan,
+            )[0]
+        b_step = b_plan[0]
+        base_key = (a_key, tile_m_actual, tile_n_actual, k_range, batch_index, b_step.rows)
+        entry = self._base_body_cache.get(base_key)
+        if entry is None:
+            # Same chunk boundaries as the full merge (the neutral step
+            # spans exactly what the real B step spans), no B waits yet.
+            neutral = [ReadPlanStep(rows=b_step.rows, cols=cols, batch=batch_index)]
+            segments, positions = self._body_segments_indexed(
+                rows, cols, k_range, batch_index, tile_m_actual, tile_n_actual, occupancy,
+                a_plan=a_plan, b_plan=neutral,
+            )
+            entry = (segments, positions, a_plan)
+            self._base_body_cache[base_key] = entry
+        base, chunk_positions, _ = entry
+        if not b_step.waits and not b_step.reads:
+            return base
+        position = chunk_positions.get(b_step.rows[0])
+        if position is None:
+            # No chunk starts at the B step's row start (span outside this
+            # split's K range): the merge drops the B waits entirely.
+            return base
+        target = base[position]
+        if self.sync.reorder_loads and b_step.waits and not target.waits:
+            # The overlap credit would first appear with the B waits; rare
+            # (A unsynchronized under reorder-loads) — take the full merge.
+            return self._body_segments_indexed(
+                rows, cols, k_range, batch_index, tile_m_actual, tile_n_actual, occupancy,
+                a_plan=a_plan, b_plan=b_plan,
+            )[0]
+        composed = list(base)
+        composed[position] = Segment(
+            label=target.label,
+            waits=list(target.waits) + list(b_step.waits),
+            duration_us=target.duration_us,
+            overlappable_us=target.overlappable_us,
+            reads=list(target.reads) + list(b_step.reads),
+        )
+        return composed
 
     def _body_segments(
         self,
@@ -324,17 +473,41 @@ class GemmKernel(TiledKernel):
         occupancy: int,
     ) -> List[Segment]:
         """The main-loop segments of one block (everything but the epilogue)."""
+        return self._body_segments_indexed(
+            rows, cols, k_range, batch_index, tile_m_actual, tile_n_actual, occupancy,
+        )[0]
+
+    def _body_segments_indexed(
+        self,
+        rows: IndexRange,
+        cols: IndexRange,
+        k_range: IndexRange,
+        batch_index: int,
+        tile_m_actual: int,
+        tile_n_actual: int,
+        occupancy: int,
+        a_plan: Optional[List[ReadPlanStep]] = None,
+        b_plan: Optional[List[ReadPlanStep]] = None,
+    ) -> Tuple[List[Segment], Dict[int, int]]:
+        """Body segments plus a map of chunk K start → segment position."""
         # Ask the stage how the main loop must be chunked for each operand.
         # A is read as [rows, k], B as [k, cols]; only synchronized operands
         # get real waits — plan_reads on a non-dependent operand is a no-op.
+        # ``a_plan`` / ``b_plan`` override the operand plans (the shared
+        # body path passes already-derived, possibly neutralized plans; see
+        # :meth:`_compose_body`).
         problem = self.problem
-        a_plan = self._plan_operand(problem.a, rows, k_range, batch_index)
-        b_plan = self._plan_operand(problem.b, k_range, cols, batch_index, rows_are_k=True)
+        if a_plan is None:
+            a_plan = self._plan_operand(problem.a, rows, k_range, batch_index)
+        if b_plan is None:
+            b_plan = self._plan_operand(problem.b, k_range, cols, batch_index, rows_are_k=True)
         chunks = _merge_k_plans(a_plan, b_plan, k_range)
 
         reorder_loads = self.sync.reorder_loads
         segments: List[Segment] = []
+        chunk_positions: Dict[int, int] = {}
         for chunk in chunks:
+            chunk_positions[chunk.k_range[0]] = len(segments)
             k_lo, k_hi = chunk.k_range
             chunk_k = k_hi - k_lo
             duration = self._chunk_duration_us(tile_m_actual, tile_n_actual, chunk_k, occupancy)
@@ -361,7 +534,7 @@ class GemmKernel(TiledKernel):
                     compute=compute,
                 )
             )
-        return segments
+        return segments, chunk_positions
 
     # ------------------------------------------------------------------
     # Memoized per-shape durations

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.gpu.arch import GpuArchitecture, TESLA_V100
+from repro.gpu.arch import ArchLike, GpuArchitecture, TESLA_V100, resolve_arch
 from repro.gpu.costmodel import CostModel
 from repro.gpu.memory import GlobalMemory
 from repro.kernels.base import TiledKernel
@@ -93,12 +93,14 @@ class Workload(ABC):
 
     def __init__(
         self,
-        arch: GpuArchitecture = TESLA_V100,
+        arch: ArchLike = TESLA_V100,
         cost_model: Optional[CostModel] = None,
         functional: bool = False,
     ) -> None:
-        self.arch = arch
-        self.cost_model = cost_model if cost_model is not None else CostModel(arch=arch)
+        #: Always a resolved instance: registered names and
+        #: :class:`~repro.gpu.arch.ArchSpec` values are accepted too.
+        self.arch = resolve_arch(arch)
+        self.cost_model = cost_model if cost_model is not None else CostModel(arch=self.arch)
         self.functional = functional
 
     # ------------------------------------------------------------------

@@ -31,6 +31,13 @@ from repro.cusync.policies import (
     register_policy,
     registered_policies,
 )
+from repro.gpu.arch import (
+    ArchLike,
+    ArchSpec,
+    register_arch,
+    registered_archs,
+    resolve_arch,
+)
 from repro.pipeline.graph import Edge, PipelineGraph, StageSpec, linear_graph
 from repro.pipeline.executors import (
     CuSyncBackend,
@@ -54,6 +61,7 @@ from repro.pipeline.session import (
     SweepPoint,
     SweepResult,
     run,
+    sweep_archs,
     sweep_policies,
 )
 
@@ -82,9 +90,15 @@ __all__ = [
     "resolve_policy",
     "resolve_order",
     "summarize_stages",
+    "ArchLike",
+    "ArchSpec",
+    "register_arch",
+    "registered_archs",
+    "resolve_arch",
     "Session",
     "SweepPoint",
     "SweepResult",
     "run",
+    "sweep_archs",
     "sweep_policies",
 ]

@@ -48,7 +48,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.errors import SimulationError
-from repro.gpu.arch import GpuArchitecture, TESLA_V100
+from repro.gpu.arch import (
+    ArchLike,
+    ArchSpec,
+    GpuArchitecture,
+    TESLA_V100,
+    arch_registry_generation,
+    canonical_arch_key,
+    resolve_arch,
+)
 from repro.gpu.costmodel import CostModel
 from repro.gpu.memory import GlobalMemory
 from repro.cusync.handle import PipelineResult
@@ -72,7 +80,7 @@ def run(
     scheme: str = "cusync",
     policy: PolicyLike = "TileSync",
     optimizations: Optional[OptimizationFlags] = None,
-    arch: GpuArchitecture = TESLA_V100,
+    arch: ArchLike = TESLA_V100,
     cost_model: Optional[CostModel] = None,
     functional: bool = False,
     memory: Optional[GlobalMemory] = None,
@@ -83,13 +91,16 @@ def run(
     ``policy`` and ``optimizations`` only apply to the ``cusync`` scheme;
     ``policy`` may be a family name, a
     :class:`~repro.cusync.policies.PolicySpec` or a per-edge
-    :class:`~repro.cusync.policies.PolicyAssignment`;
+    :class:`~repro.cusync.policies.PolicyAssignment`; ``arch`` may be a
+    registered architecture name, an
+    :class:`~repro.gpu.arch.ArchSpec` or a raw
+    :class:`~repro.gpu.arch.GpuArchitecture`;
     ``optimizations=None`` selects the automatic per-edge W/R/T flags
     (Section IV-C).  The graph is never mutated and its kernels are never
     rebuilt — run the same graph again under any other configuration.
     """
     ctx = ExecutionContext(
-        arch=arch,
+        arch=resolve_arch(arch),
         cost_model=cost_model,
         functional=functional,
         policy=policy,
@@ -114,18 +125,25 @@ class SweepPoint:
 
     ``policy`` may be a family name, a
     :class:`~repro.cusync.policies.PolicySpec` or a full per-edge
-    :class:`~repro.cusync.policies.PolicyAssignment` (all hashable and
-    picklable); non-cusync schemes use ``None``.
+    :class:`~repro.cusync.policies.PolicyAssignment`; ``arch`` may be a
+    registered architecture name, an :class:`~repro.gpu.arch.ArchSpec` or
+    a :class:`~repro.gpu.arch.GpuArchitecture` instance (specs and names
+    are the picklable, registry-resolved forms); non-cusync schemes use
+    ``policy=None``.
     """
 
     scheme: str
     policy: SweepPolicy
-    arch: GpuArchitecture
+    arch: ArchLike
+
+    def resolved_arch(self) -> GpuArchitecture:
+        """The concrete architecture this point runs on."""
+        return resolve_arch(self.arch)
 
     def label(self) -> str:
         policy = _policy_label(self.policy)
         suffix = f":{policy}" if policy else ""
-        return f"{self.scheme}{suffix}@{self.arch.name}"
+        return f"{self.scheme}{suffix}@{self.resolved_arch().name}"
 
 
 @dataclass(frozen=True)
@@ -165,8 +183,9 @@ def _sweep_point_result(
     for one arch are equal-valued, stage summaries are deterministic), so
     parallel and serial sweeps agree bit for bit.
     """
+    arch = resolve_arch(point.arch)
     ctx = ExecutionContext(
-        arch=point.arch,
+        arch=arch,
         cost_model=cost_model,
         functional=False,
         policy=point.policy if point.policy is not None else "TileSync",
@@ -177,7 +196,7 @@ def _sweep_point_result(
     return SweepResult(
         scheme=point.scheme,
         policy=point.policy,
-        arch_name=point.arch.name,
+        arch_name=arch.name,
         total_time_us=result.total_time_us,
         total_wait_time_us=result.total_wait_time_us(),
         kernel_durations_us=tuple(
@@ -251,7 +270,7 @@ def _warn_serial_fallback(graph: PipelineGraph, culprit: str) -> None:
 def sweep_policies(
     graph: PipelineGraph,
     families: Sequence[Union[str, PolicySpec]] = ("TileSync", "RowSync"),
-    arches: Sequence[GpuArchitecture] = (TESLA_V100,),
+    arches: Sequence[ArchLike] = (TESLA_V100,),
     scheme: str = "cusync",
     mixed: bool = False,
 ) -> List[Tuple[PipelineGraph, SweepPoint]]:
@@ -292,6 +311,48 @@ def sweep_policies(
     return work
 
 
+def sweep_archs(
+    graphs: Union[PipelineGraph, Sequence[PipelineGraph]],
+    arches: Sequence[ArchLike] = ("V100", "A100"),
+    policies: Sequence[Union[str, PolicySpec, PolicyAssignment]] = ("TileSync",),
+    schemes: Sequence[str] = ("cusync",),
+) -> List[Tuple[PipelineGraph, SweepPoint]]:
+    """Build ``(graph, SweepPoint)`` work covering an architecture grid.
+
+    For every graph, the full ``arch x scheme (x policy)`` product is
+    generated; non-cusync schemes contribute one point per architecture
+    (they have no policy axis).  Architecture names and
+    :class:`~repro.gpu.arch.ArchSpec` values are kept as specs inside the
+    points — hashable and picklable, resolving against the registry in
+    whatever process evaluates them — while raw
+    :class:`~repro.gpu.arch.GpuArchitecture` instances pass through for
+    the legacy path.  Feed the work to :meth:`Session.sweep` in any of the
+    three modes::
+
+        work = sweep_archs([mlp, attention], ("V100", "A100", "H100-SXM"),
+                           policies=("TileSync", "RowSync"),
+                           schemes=("streamsync", "cusync"))
+        results = session.sweep(work, mode="thread")
+    """
+    graph_list = [graphs] if isinstance(graphs, PipelineGraph) else list(graphs)
+    arch_axis: List[ArchLike] = [
+        arch if isinstance(arch, GpuArchitecture) else ArchSpec.coerce(arch)
+        for arch in arches
+    ]
+    work: List[Tuple[PipelineGraph, SweepPoint]] = []
+    for graph in graph_list:
+        for arch in arch_axis:
+            for scheme in schemes:
+                if scheme == "cusync":
+                    for policy in policies:
+                        work.append(
+                            (graph, SweepPoint(scheme=scheme, policy=policy, arch=arch))
+                        )
+                else:
+                    work.append((graph, SweepPoint(scheme=scheme, policy=None, arch=arch)))
+    return work
+
+
 class Session:
     """Reusable execution context: cached cost models, memoized geometry.
 
@@ -303,54 +364,92 @@ class Session:
 
     def __init__(
         self,
-        arch: GpuArchitecture = TESLA_V100,
+        arch: ArchLike = TESLA_V100,
         functional: bool = False,
         cost_model: Optional[CostModel] = None,
     ) -> None:
-        self.arch = arch
+        #: The session's default architecture, always resolved to a concrete
+        #: instance (names and :class:`~repro.gpu.arch.ArchSpec` values are
+        #: accepted and looked up in the registry).
+        self.arch = resolve_arch(arch)
         self.functional = functional
-        #: One cost model per architecture, keyed by object identity (two
-        #: distinct arch objects with equal fields get equal cost models,
-        #: so identity keying is only a cache-efficiency concern).  The key
+        #: One cost model per architecture, keyed by the *resolved*
+        #: :class:`~repro.gpu.arch.ArchSpec` when the architecture is
+        #: registry-addressable (names, specs, and instances value-equal to
+        #: a registered preset all share one entry) and by object identity
+        #: for unregistered instances (the legacy shim path).  The arch
         #: objects are stored in the values: holding them alive guarantees
-        #: an id() is never recycled while its entry exists (a session sees
-        #: a handful of small arch objects, so the retention is trivial).
-        self._cost_models: Dict[int, Tuple[GpuArchitecture, CostModel]] = {}
-        #: Memoized stage geometry: graph -> {id(arch): (arch, summaries)}.
-        #: Weakly keyed so a session that churns through many graphs (an
-        #: autotuning loop, the bench harness) does not pin every dead
-        #: graph and its kernels in memory.
-        self._stage_summaries: "weakref.WeakKeyDictionary[PipelineGraph, Dict[int, Tuple[GpuArchitecture, Dict[str, StageSummary]]]]" = (
+        #: an id() key is never recycled while its entry exists.
+        self._cost_models: Dict[object, Tuple[GpuArchitecture, CostModel]] = {}
+        #: Memoized stage geometry: graph -> {arch key: (arch, summaries)},
+        #: with the same arch keying as the cost models.  Weakly keyed so a
+        #: session that churns through many graphs (an autotuning loop, the
+        #: bench harness) does not pin every dead graph and its kernels in
+        #: memory.
+        self._stage_summaries: "weakref.WeakKeyDictionary[PipelineGraph, Dict[object, Tuple[GpuArchitecture, Dict[str, StageSummary]]]]" = (
             weakref.WeakKeyDictionary()
         )
-        if cost_model is not None:
-            # A custom (e.g. calibrated) cost model for the session's own
-            # architecture; other arches still get equal-valued defaults.
-            self._cost_models[id(arch)] = (arch, cost_model)
+        #: The session's own (original arch argument, custom cost model),
+        #: re-pinned into the cache whenever a registry change flushes it.
+        self._session_cost_model: Optional[Tuple[ArchLike, CostModel]] = (
+            (arch, cost_model) if cost_model is not None else None
+        )
+        #: Registry state the spec-keyed caches were built against; when a
+        #: register_arch/unregister_arch call changes resolutions, the
+        #: derived caches are flushed so a run never pairs a new
+        #: architecture instance with a stale cost model.
+        self._registry_generation = arch_registry_generation()
+        self._pin_session_cost_model()
+
+    def _pin_session_cost_model(self) -> None:
+        if self._session_cost_model is None:
+            return
+        # Stored under both the key of the *original* arch argument (a
+        # spec, when one was passed) and of the resolved instance, so
+        # explicit lookups by either form hit the calibrated model.
+        arch_arg, cost_model = self._session_cost_model
+        entry = (self.arch, cost_model)
+        self._cost_models[canonical_arch_key(arch_arg)] = entry
+        self._cost_models[canonical_arch_key(self.arch)] = entry
+
+    def _check_registry_generation(self) -> None:
+        generation = arch_registry_generation()
+        if generation != self._registry_generation:
+            self._registry_generation = generation
+            self._cost_models.clear()
+            self._stage_summaries.clear()
+            self._pin_session_cost_model()
 
     # ------------------------------------------------------------------
-    def cost_model(self, arch: Optional[GpuArchitecture] = None) -> CostModel:
+    def _arch_entry(self, arch: Optional[ArchLike]) -> Tuple[object, GpuArchitecture]:
+        """Resolve an architecture axis value to its (cache key, instance)."""
+        self._check_registry_generation()
+        if arch is None:
+            return canonical_arch_key(self.arch), self.arch
+        return canonical_arch_key(arch), resolve_arch(arch)
+
+    def cost_model(self, arch: Optional[ArchLike] = None) -> CostModel:
         """The session's cached cost model for ``arch`` (default: session arch)."""
-        arch = arch if arch is not None else self.arch
-        entry = self._cost_models.get(id(arch))
+        key, resolved = self._arch_entry(arch)
+        entry = self._cost_models.get(key)
         if entry is None:
-            entry = (arch, CostModel(arch=arch))
-            self._cost_models[id(arch)] = entry
+            entry = (resolved, CostModel(arch=resolved))
+            self._cost_models[key] = entry
         return entry[1]
 
     def stage_summaries(
-        self, graph: PipelineGraph, arch: Optional[GpuArchitecture] = None
+        self, graph: PipelineGraph, arch: Optional[ArchLike] = None
     ) -> Dict[str, StageSummary]:
         """Memoized per-arch block counts / occupancies for ``graph``."""
-        arch = arch if arch is not None else self.arch
+        key, resolved = self._arch_entry(arch)
         per_arch = self._stage_summaries.setdefault(graph, {})
-        entry = per_arch.get(id(arch))
+        entry = per_arch.get(key)
         if entry is None:
             cost_model = self.cost_model(arch)
             for stage in graph.topological_order:
                 stage.kernel.cost_model = cost_model
-            entry = (arch, summarize_stages(graph))
-            per_arch[id(arch)] = entry
+            entry = (resolved, summarize_stages(graph))
+            per_arch[key] = entry
         return entry[1]
 
     # ------------------------------------------------------------------
@@ -360,14 +459,14 @@ class Session:
         scheme: str = "cusync",
         policy: PolicyLike = "TileSync",
         optimizations: Optional[OptimizationFlags] = None,
-        arch: Optional[GpuArchitecture] = None,
+        arch: Optional[ArchLike] = None,
         memory: Optional[GlobalMemory] = None,
         tensors: Optional[Dict[str, np.ndarray]] = None,
     ) -> PipelineResult:
         """Execute ``graph`` once, reusing the session's cached state."""
-        arch = arch if arch is not None else self.arch
+        resolved = resolve_arch(arch) if arch is not None else self.arch
         ctx = ExecutionContext(
-            arch=arch,
+            arch=resolved,
             cost_model=self.cost_model(arch),
             functional=self.functional,
             policy=policy,
@@ -541,33 +640,36 @@ class Session:
         labels: Dict[int, str],
         workers: Optional[int],
     ) -> List[SweepResult]:
-        # Pre-warm the session's per-arch cost-model and stage-summary
-        # caches serially so worker threads only read them; a per-graph
-        # lock serializes points that share a graph (executors re-bind the
-        # graph's kernels for every run, and two concurrent bindings of one
-        # graph would race).
+        # Resolve each point's cost model and stage summaries serially up
+        # front so worker threads only read prepared values (no per-point
+        # registry/key work on the fan-out path); a per-graph lock
+        # serializes points that share a graph (executors re-bind the
+        # graph's kernels for every run, and two concurrent bindings of
+        # one graph would race).
         locks: Dict[int, threading.Lock] = {}
-        summaries: Dict[Tuple[int, int], Dict[str, StageSummary]] = {}
+        prepared = []
         for graph, point in work:
-            self.cost_model(point.arch)
-            if point.scheme == "cusync":
-                summaries[(id(graph), id(point.arch))] = self.stage_summaries(graph, point.arch)
+            cost_model = self.cost_model(point.arch)
+            stage_summaries = (
+                self.stage_summaries(graph, point.arch) if point.scheme == "cusync" else None
+            )
             locks.setdefault(id(graph), threading.Lock())
+            prepared.append((graph, point, cost_model, stage_summaries, labels[id(graph)]))
 
-        def evaluate(item: Tuple[PipelineGraph, SweepPoint]) -> SweepResult:
-            graph, point = item
+        def evaluate(item) -> SweepResult:
+            graph, point, cost_model, stage_summaries, graph_label = item
             with locks[id(graph)]:
                 return _sweep_point_result(
                     graph,
                     point,
-                    cost_model=self.cost_model(point.arch),
-                    stage_summaries=summaries.get((id(graph), id(point.arch))),
-                    graph_label=labels[id(graph)],
+                    cost_model=cost_model,
+                    stage_summaries=stage_summaries,
+                    graph_label=graph_label,
                 )
 
         max_workers = workers if workers else min(8, len(work))
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(evaluate, work))
+            return list(pool.map(evaluate, prepared))
 
     def _sweep_processes(
         self,

@@ -12,6 +12,14 @@ from repro.gpu.arch import TESLA_V100
 from repro.gpu.costmodel import CostModel
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long multi-mode sweep tests; the fast CI lane deselects them "
+        'with -m "not slow"',
+    )
+
+
 @pytest.fixture
 def small_arch():
     """An 8-SM GPU with no launch latency, for fast deterministic tests."""

@@ -209,12 +209,14 @@ class TestMultiGraphSweep:
         return work
 
     def test_thread_process_serial_modes_bit_identical(self, workload):
-        session = Session(arch=workload.arch)
+        """Mode parity, via the reusable differential harness (which also
+        runs the picklable subset of the work through the process pool)."""
+        from differential_harness import assert_modes_identical
+
         work = self._work(workload)
-        serial = session.sweep(list(work), mode="serial")
-        threaded = session.sweep(list(work), mode="thread")
+        serial = assert_modes_identical(work, session_arch=workload.arch)
         auto = Session(arch=workload.arch).sweep(list(work))  # fresh session: no shared caches
-        assert serial == threaded == auto
+        assert auto == serial
         assert len(serial) == len(work)
         assert all(result.total_time_us > 0.0 for result in serial)
 

@@ -1,0 +1,112 @@
+"""Per-policy-slot post elision: unused slot-0 semaphore posts are skipped.
+
+When every consumer edge of a producer overrides the producer's default
+policy, nothing ever waits on the stage's slot-0 semaphore array, and a
+faithful cuSync producer does not pay atomic increments for a scheme no
+consumer registered.  The elision is defended two ways:
+
+* **Trace equivalence** — a run whose single edge overrides the default
+  with policy X (slot 0 elided, only X's array posted) is bit-identical to
+  running X uniformly (X posted on slot 0): the per-tile post counts,
+  waits and therefore every block's timing match; only the semaphore
+  array *name* differs, which traces do not record.
+* **Against the unelided run** — with elision disabled (the PR-3
+  behaviour), the producer pays one extra post per tile, so the elided
+  run is never slower and the block population is unchanged.
+"""
+
+import pytest
+
+from differential_harness import TINY_GPT, assert_traces_equivalent, capture_trace
+from repro.common.dim3 import Dim3
+from repro.cusync.custage import CuStage
+from repro.cusync.policies import PolicyAssignment, RowSync, TileSync
+from repro.kernels.base import StageGeometry
+from repro.models import GptMlp
+from repro.pipeline import SweepPoint
+
+EDGE = ("mlp_gemm1", "mlp_gemm2", "XW1")
+
+
+@pytest.fixture
+def graph():
+    return GptMlp(config=TINY_GPT, batch_seq=96).to_graph()
+
+
+def _geometry() -> StageGeometry:
+    return StageGeometry(grid=Dim3(4, 3, 1), tile_rows=16, tile_cols=32, output="OUT")
+
+
+class TestCuStageElision:
+    def test_elides_when_every_edge_overrides(self):
+        producer = CuStage("producer", _geometry(), policy=RowSync())
+        consumer = CuStage("consumer", _geometry(), policy=TileSync())
+        consumer.depends_on(producer, "OUT", policy=TileSync())
+        assert producer.slot0_posts_elided
+        posts = producer.posts_for(Dim3(0, 0, 0), producer.grid)
+        assert [post.array for post in posts] == ["cusync_producer_sems.1"]
+
+    def test_no_elision_when_any_edge_uses_slot0(self):
+        producer = CuStage("producer", _geometry(), policy=RowSync())
+        override = CuStage("override", _geometry(), policy=TileSync())
+        inheritor = CuStage("inheritor", _geometry(), policy=TileSync())
+        override.depends_on(producer, "OUT", policy=TileSync())
+        inheritor.depends_on(producer, "OUT")
+        assert not producer.slot0_posts_elided
+        posts = producer.posts_for(Dim3(0, 0, 0), producer.grid)
+        assert [post.array for post in posts] == [
+            "cusync_producer_sems",
+            "cusync_producer_sems.1",
+        ]
+
+    def test_no_elision_without_edge_overrides(self):
+        producer = CuStage("producer", _geometry(), policy=RowSync())
+        consumer = CuStage("consumer", _geometry(), policy=TileSync())
+        consumer.depends_on(producer, "OUT")
+        assert not producer.slot0_posts_elided
+        assert [post.array for post in producer.posts_for(Dim3(0, 0, 0), producer.grid)] == [
+            "cusync_producer_sems"
+        ]
+
+    def test_value_identical_override_uses_slot0(self):
+        """An override equal to the stage default is slot 0, never elided."""
+        producer = CuStage("producer", _geometry(), policy=TileSync())
+        consumer = CuStage("consumer", _geometry(), policy=TileSync())
+        consumer.depends_on(producer, "OUT", policy=TileSync())
+        assert not producer.slot0_posts_elided
+
+
+class TestTraceEquivalence:
+    def test_elided_override_matches_uniform_policy_trace(self, graph):
+        """default=RowSync + edge override TileSync (slot 0 elided) is
+        trace-equivalent to uniform TileSync: same posts per tile, same
+        waits, bit-identical block records."""
+        mixed = PolicyAssignment(default="RowSync", edges={EDGE: "TileSync"})
+        elided = capture_trace(graph, SweepPoint("cusync", mixed, "V100"))
+        uniform = capture_trace(graph, SweepPoint("cusync", "TileSync", "V100"))
+        assert_traces_equivalent(elided, uniform)
+
+    def test_unelided_run_is_never_faster(self, graph, monkeypatch):
+        """Against the unelided (PR-3) behaviour: same block population,
+        the extra slot-0 posts only add overhead."""
+        mixed = PolicyAssignment(default="RowSync", edges={EDGE: "TileSync"})
+        point = SweepPoint("cusync", mixed, "V100")
+        elided = capture_trace(graph, point)
+        monkeypatch.setattr(CuStage, "elide_idle_slot0", False)
+        unelided = capture_trace(graph, point)
+        assert len(elided["blocks"]) == len(unelided["blocks"])
+        assert sorted(elided["kernels"]) == sorted(unelided["kernels"])
+        assert elided["total_time_us"] <= unelided["total_time_us"]
+        # The unelided producer pays a real per-tile post cost.
+        producer = "mlp_gemm1"
+        assert (
+            elided["kernels"][producer]["duration_us"]
+            < unelided["kernels"][producer]["duration_us"]
+        )
+
+    def test_uniform_runs_unaffected_by_elision_flag(self, graph, monkeypatch):
+        """Single-policy runs never trigger elision: the flag is inert."""
+        before = capture_trace(graph, SweepPoint("cusync", "RowSync", "V100"))
+        monkeypatch.setattr(CuStage, "elide_idle_slot0", False)
+        after = capture_trace(graph, SweepPoint("cusync", "RowSync", "V100"))
+        assert_traces_equivalent(before, after)
