@@ -24,23 +24,39 @@ import json
 import os
 from typing import Dict, List
 
-from repro.gpu.arch import TESLA_V100
+from repro.gpu.arch import AMPERE_A100, TESLA_V100
 from repro.models.attention import Attention
-from repro.models.config import GPT3_145B, RESNET38_LAYERS
+from repro.models.config import GPT3_145B, LLAMA_65B, RESNET38_LAYERS, VGG19_LAYERS
 from repro.models.conv_layers import ConvChain
+from repro.models.llama_mlp import LlamaMlp
 from repro.models.mlp import GptMlp
 
 FIXTURE_PATH = os.path.join(os.path.dirname(__file__), "fixtures", "golden_traces.json")
 
 
 def _workloads() -> Dict[str, object]:
-    """The pinned workloads.  Kept small enough to run in a few hundred ms."""
-    by_channels = {spec.channels: spec for spec in RESNET38_LAYERS}
+    """The pinned workloads.  Kept small enough to run in a few seconds.
+
+    All five model workloads are pinned on both V100 and A100 (``@a100``
+    keys), so the arch axis is trace-pinned too; the original four V100
+    entries keep their historical keys.
+    """
+    resnet = {spec.channels: spec for spec in RESNET38_LAYERS}
+    vgg = {spec.channels: spec for spec in VGG19_LAYERS}
     return {
         "mlp_b256": GptMlp(batch_seq=256, arch=TESLA_V100),
         "mlp_b512": GptMlp(batch_seq=512, arch=TESLA_V100),
         "attention_s256": Attention(config=GPT3_145B, batch=1, seq=256, cached=0, arch=TESLA_V100),
-        "conv_c64": ConvChain(by_channels[64], batch=1, arch=TESLA_V100),
+        "conv_c64": ConvChain(resnet[64], batch=1, arch=TESLA_V100),
+        "llama_mlp_b256": LlamaMlp(config=LLAMA_65B, batch_seq=256, arch=TESLA_V100),
+        "conv_vgg_c256": ConvChain(vgg[256], batch=1, arch=TESLA_V100),
+        "mlp_b256@a100": GptMlp(batch_seq=256, arch=AMPERE_A100),
+        "llama_mlp_b256@a100": LlamaMlp(config=LLAMA_65B, batch_seq=256, arch=AMPERE_A100),
+        "attention_s256@a100": Attention(
+            config=GPT3_145B, batch=1, seq=256, cached=0, arch=AMPERE_A100
+        ),
+        "conv_c64@a100": ConvChain(resnet[64], batch=1, arch=AMPERE_A100),
+        "conv_vgg_c256@a100": ConvChain(vgg[256], batch=1, arch=AMPERE_A100),
     }
 
 
