@@ -60,14 +60,20 @@ def run_experiment(smoke: bool = False) -> Dict[str, object]:
 
     arches = SMOKE_ARCHES if smoke else DEFAULT_ARCHES
     kwargs = dict(batch_seq=128, seq=128, conv_channels=64) if smoke else {}
+    cache_stats: Dict[str, object] = {}
     start = time.perf_counter()
-    rows = arch_comparison(arches=arches, **kwargs)
+    rows = arch_comparison(arches=arches, cache_stats=cache_stats, **kwargs)
     elapsed = time.perf_counter() - start
+    # ``elapsed_s`` covers the full experiment including the cached replay
+    # of the grid (arch_comparison re-sweeps the same work list to measure
+    # the sweep cache); ``sweep_cache.replay_s`` isolates the replay share,
+    # which cache hits keep a small fraction of the fresh sweep.
     # Record the *resolved* names so the list joins against the rows'
     # "arch" field (the registry key "V100" resolves to "Tesla V100").
     return {
         "arches": [resolve_arch(arch).name for arch in arches],
         "elapsed_s": elapsed,
+        "sweep_cache": cache_stats,
         "rows": rows,
     }
 
@@ -108,6 +114,16 @@ def compare_against_baseline(
             f"rows not in committed baseline (regenerate it deliberately): "
             f"{sorted(extra)[:5]}" + ("..." if len(extra) > 5 else "")
         )
+
+    baseline_cache = baseline.get("sweep_cache") or {}
+    record_cache = record.get("sweep_cache") or {}
+    if "hit_rate" in baseline_cache:
+        floor = baseline_cache["hit_rate"] / tolerance
+        if record_cache.get("hit_rate", 0.0) < floor:
+            failures.append(
+                f"sweep_cache hit_rate {record_cache.get('hit_rate', 0.0):.3f} fell below "
+                f"{floor:.3f} (baseline {baseline_cache['hit_rate']:.3f} / {tolerance}x tolerance)"
+            )
     return failures
 
 
@@ -148,6 +164,17 @@ def _check(record: Dict[str, object]) -> None:
             assert row["improvement"] > 0.0, (
                 f"conv chain did not improve on {row['arch']}: {row['improvement']:.4f}"
             )
+    cache = record.get("sweep_cache") or {}
+    if cache:
+        assert cache["replay_identical"], "cached replay diverged from the fresh sweep"
+        assert cache["hit_rate"] >= 0.5, f"replaying the grid should hit: {cache}"
+        # The whole point of the cache: replaying the grid must be a clear
+        # wall-clock win over simulating it fresh.
+        fresh_s = record["elapsed_s"] - cache["replay_s"]
+        assert cache["replay_s"] < fresh_s / 2, (
+            f"cached replay ({cache['replay_s']:.3f}s) is not a wall-clock win "
+            f"over the fresh sweep (~{fresh_s:.3f}s)"
+        )
 
 
 def test_arch_comparison(bench_once, benchmark):

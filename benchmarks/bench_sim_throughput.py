@@ -17,6 +17,16 @@ defend.  Two numbers are recorded:
   synchronize *both* operands, added to defend the shared body-segment
   cache (waits are composed per distinct plan pair, no longer rebuilt per
   column tile).
+* ``sweep_cache_hit_rate`` (plus ``sweep_cache_cold_s`` /
+  ``sweep_cache_replay_s``) — a small arch×policy grid swept twice through
+  one :class:`~repro.pipeline.Session`: the second pass must replay every
+  point from the session's sweep-result cache bit-identically.  The hit
+  rate is deterministic (0.5 for two passes over a duplicate-free grid);
+  the gate exists so a broken cache (rate → 0) fails CI.
+
+Pass ``--profile`` to print the cProfile top 25 (by cumulative time)
+over three synthetic runs instead of benchmarking — the shared
+methodology for hot-path PRs (see benchmarks/README.md).
 
 ``BENCH_sim_throughput.json`` in the repository root is the **committed
 baseline**.  A plain run refreshes it (do this deliberately, on the
@@ -135,10 +145,41 @@ def measure_attention(repeats: int = REPEATS) -> float:
     return best
 
 
+def measure_sweep_cache() -> Dict[str, float]:
+    """Sweep one small grid twice through a session; the replay must hit.
+
+    Returns the session-level hit rate plus the cold/replay wall times.
+    The replayed results are asserted bit-identical to the fresh ones
+    (``SweepResult`` equality covers every value field; the diagnostic
+    ``cached`` flag is excluded) — caching must never change a number.
+    """
+    from repro.models.mlp import GptMlp
+    from repro.pipeline import Session, sweep_archs
+
+    graph = GptMlp(batch_seq=256).to_graph()
+    session = Session()
+    work = sweep_archs(graph, ("V100", "A100"), policies=("TileSync", "RowSync"))
+    start = time.perf_counter()
+    cold = session.sweep(work, mode="serial")
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    replayed = session.sweep(work, mode="serial")
+    replay_s = time.perf_counter() - start
+    assert replayed == cold
+    assert all(result.cached for result in replayed)
+    hits, misses = session.sweep_cache_hits, session.sweep_cache_misses
+    return {
+        "sweep_cache_hit_rate": hits / (hits + misses),
+        "sweep_cache_cold_s": cold_s,
+        "sweep_cache_replay_s": replay_s,
+    }
+
+
 def run_benchmark(output_path: str = "") -> Dict[str, float]:
     record = measure_throughput()
     record["table4_mlp_s"] = measure_table4()
     record["attention_sweep_s"] = measure_attention()
+    record.update(measure_sweep_cache())
     path = output_path or os.environ.get("BENCH_SIM_THROUGHPUT_OUT", DEFAULT_OUTPUT)
     with open(path, "w") as handle:
         json.dump(record, handle, indent=1, sort_keys=True)
@@ -182,6 +223,13 @@ def compare_against_baseline(
                 f"attention_sweep_s {record['attention_sweep_s']:.3f} exceeded "
                 f"{ceiling:.3f} (baseline {baseline['attention_sweep_s']:.3f} * {tolerance}x tolerance)"
             )
+    if "sweep_cache_hit_rate" in baseline:
+        floor = baseline["sweep_cache_hit_rate"] / tolerance
+        if record["sweep_cache_hit_rate"] < floor:
+            failures.append(
+                f"sweep_cache_hit_rate {record['sweep_cache_hit_rate']:.3f} fell below "
+                f"{floor:.3f} (baseline {baseline['sweep_cache_hit_rate']:.3f} / {tolerance}x tolerance)"
+            )
     return failures
 
 
@@ -192,13 +240,41 @@ def test_sim_throughput(capsys=None):
     print(f"simulator throughput: {record['blocks_per_sec']:,.0f} blocks/sec")
     print(f"table4_mlp regeneration: {record['table4_mlp_s']:.3f} s")
     print(f"attention sweep: {record['attention_sweep_s']:.3f} s")
+    print(f"sweep cache hit rate: {record['sweep_cache_hit_rate']:.2f}")
     # Loose floor (~20x below current hardware-dependent numbers) so CI
     # flags order-of-magnitude regressions without flaking on slow runners.
     assert record["blocks_per_sec"] > 10_000
     assert record["table4_mlp_s"] < 10.0
+    # Two passes over a duplicate-free grid: exactly half the points replay.
+    assert record["sweep_cache_hit_rate"] == 0.5
+
+
+def profile_run(top: int = 25) -> None:
+    """cProfile the synthetic pipeline and print the ``top`` entries.
+
+    The shared methodology for hot-path PRs: profile a few full synthetic
+    runs, sort by cumulative time, and attack the biggest entries (see
+    benchmarks/README.md for the workflow this feeds).
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    for _ in range(3):
+        memory = GlobalMemory()
+        memory.alloc_semaphores("synthetic_sem", SYNTHETIC_GRID.volume)
+        simulator = GpuSimulator(memory=memory)
+        launches = build_synthetic_launches()
+        profiler.enable()
+        simulator.run(launches)
+        profiler.disable()
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)
 
 
 def main(argv: List[str]) -> int:
+    if "--profile" in argv:
+        profile_run()
+        return 0
     check = "--check-baseline" in argv
     baseline = None
     if check:

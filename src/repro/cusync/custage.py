@@ -93,6 +93,14 @@ class CuStage(SyncInterface):
         self._consumer_read_cache: Dict[
             Tuple[str, IndexRange, IndexRange, int, int], List[ReadPlanStep]
         ] = {}
+        #: Memoized ``_slot_of`` resolutions keyed by the policy object's
+        #: identity.  ``plan_consumer_reads`` runs once per consumer block
+        #: binding and the edge's policy object is stable for the life of
+        #: the stage (``None`` or the canonical registered instance), so
+        #: the per-call ``policy.key()`` comparisons collapse to one dict
+        #: hit.  Values hold the key object, keeping its id() from being
+        #: recycled while the entry exists.
+        self._slot_memo: Dict[int, Tuple[int, SyncPolicy, str, Optional[SyncPolicy]]] = {}
         #: Additional producer-side policies demanded by consumer edges that
         #: override this stage's default (slot 0 is ``self.policy``); each
         #: gets its own semaphore array and one extra post per output tile.
@@ -129,8 +137,15 @@ class CuStage(SyncInterface):
         return self.geometry.split_k
 
     def logical_tile(self, tile: Dim3) -> Dim3:
-        """Fold a launch-grid tile coordinate into its logical tile."""
-        return Dim3(tile.x, tile.y, tile.z // self.geometry.split_k)
+        """Fold a launch-grid tile coordinate into its logical tile.
+
+        Without split-K the launch tile *is* the logical tile, so the
+        (validated) ``Dim3`` construction is skipped on that per-block path.
+        """
+        split_k = self.geometry.split_k
+        if split_k == 1:
+            return tile
+        return Dim3(tile.x, tile.y, tile.z // split_k)
 
     # ------------------------------------------------------------------
     # Dependency declaration (CuSync::dependency in the paper)
@@ -194,6 +209,14 @@ class CuStage(SyncInterface):
 
     def _slot_of(self, policy: Optional[SyncPolicy]) -> Tuple[int, SyncPolicy, str]:
         """Resolve an edge policy to its (slot, policy, array) triple."""
+        memo = self._slot_memo.get(id(policy))
+        if memo is not None:
+            return memo[0], memo[1], memo[2]
+        resolved = self._slot_of_uncached(policy)
+        self._slot_memo[id(policy)] = (*resolved, policy)
+        return resolved
+
+    def _slot_of_uncached(self, policy: Optional[SyncPolicy]) -> Tuple[int, SyncPolicy, str]:
         if policy is None or policy.key() == self.policy.key():
             return 0, self.policy, self.semaphore_array
         for index, existing in enumerate(self._edge_policies, start=1):

@@ -440,6 +440,17 @@ class _PolicyEntry:
 
 _POLICY_REGISTRY: Dict[str, _PolicyEntry] = {}
 
+#: Bumped on every registry mutation; consumers that key derived caches on
+#: policy *specs* (whose meaning resolves through this registry) compare
+#: generations to know when to flush — mirrors
+#: :func:`repro.gpu.arch.arch_registry_generation`.
+_REGISTRY_GENERATION = 0
+
+
+def policy_registry_generation() -> int:
+    """Monotonic counter of policy-registry mutations (register/unregister)."""
+    return _REGISTRY_GENERATION
+
 
 def register_policy(
     family: str,
@@ -466,6 +477,7 @@ def register_policy(
     """
 
     def _register(the_factory: PolicyFactory) -> PolicyFactory:
+        global _REGISTRY_GENERATION
         entry = _PolicyEntry(
             canonical=family, factory=the_factory, order_factory=order_factory
         )
@@ -482,6 +494,7 @@ def register_policy(
                     )
         for name in names:
             _POLICY_REGISTRY[name] = entry
+        _REGISTRY_GENERATION += 1
         return the_factory
 
     if factory is not None:
@@ -496,9 +509,11 @@ def unregister_policy(family: str) -> None:
     identity), so stale aliases left behind by an ``overwrite=True``
     re-registration are cleaned up too.
     """
+    global _REGISTRY_GENERATION
     canonical = _registry_entry(family).canonical.lower()
     for name in [n for n, e in _POLICY_REGISTRY.items() if e.canonical.lower() == canonical]:
         del _POLICY_REGISTRY[name]
+    _REGISTRY_GENERATION += 1
 
 
 def registered_policies() -> Tuple[str, ...]:

@@ -18,6 +18,9 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
 
 from repro.common.validation import check_non_negative, check_positive
 from repro.gpu.arch import GpuArchitecture, TESLA_V100
@@ -194,6 +197,27 @@ class CostModel:
         z ^= z >> 31
         fraction = (z >> 32) / 2 ** 32
         return 1.0 + self.duration_jitter * fraction
+
+    def block_duration_factors(self, kernel_name: str, count: int) -> List[float]:
+        """Vectorized :meth:`block_duration_factor` for indices ``0..count-1``.
+
+        One numpy evaluation of the splitmix64 finalizer replaces ``count``
+        Python-arithmetic calls when the simulator prepares a launch; the
+        uint64 lane wraps exactly like the masked scalar path and the
+        ``(z >> 32) / 2**32`` fraction is a power-of-two division of a
+        value below 2**32, so every element is bit-identical to the scalar
+        method (defended by a test).
+        """
+        if self.duration_jitter <= 0.0 or count <= 0:
+            return [1.0] * max(count, 0)
+        stride = np.uint64(0x9E3779B97F4A7C15)
+        indices = np.arange(count, dtype=np.uint64)
+        z = np.uint64(self.jitter_seed(kernel_name)) + indices * stride
+        z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+        z = z ^ (z >> np.uint64(31))
+        fractions = (z >> np.uint64(32)).astype(np.float64) / 4294967296.0
+        return (1.0 + self.duration_jitter * fractions).tolist()
 
     # ------------------------------------------------------------------
     # Stream-K specific costs

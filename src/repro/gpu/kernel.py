@@ -20,7 +20,8 @@ computation, and ``stage.post`` after the tile is computed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, List, Optional, Sequence
+from functools import lru_cache
+from typing import Callable, Hashable, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.common.dim3 import Dim3
 from repro.common.tiles import delinearize
@@ -29,14 +30,15 @@ from repro.gpu.memory import GlobalMemory
 from repro.gpu.stream import Stream, DEFAULT_STREAM
 
 
-@dataclass(frozen=True, slots=True)
-class SemWait:
+class SemWait(NamedTuple):
     """Block until semaphore ``index`` of array ``array`` reaches ``required``.
 
     The wait is satisfied when the semaphore value is greater than or equal
     to ``required``; semaphores in cuSync only ever increase within one
     pipeline invocation, so the monotone comparison matches the paper's
-    busy-wait loop.
+    busy-wait loop.  (A NamedTuple rather than a frozen dataclass: waits are
+    constructed once per planned read chunk, and the C-level tuple
+    constructor keeps per-block program building off the profile.)
     """
 
     array: str
@@ -47,8 +49,7 @@ class SemWait:
         return memory.semaphore_value(self.array, self.index) >= self.required
 
 
-@dataclass(frozen=True, slots=True)
-class SemPost:
+class SemPost(NamedTuple):
     """Atomically add ``increment`` to semaphore ``index`` of ``array``."""
 
     array: str
@@ -96,7 +97,10 @@ class Segment:
     compute: Optional[Callable[[GlobalMemory], None]] = None
 
     def __post_init__(self) -> None:
-        check_non_negative("duration_us", self.duration_us)
+        # Inlined check_non_negative: segments are built once per dispatched
+        # block, so the extra call frame was a measurable dispatch cost.
+        if self.duration_us < 0:
+            check_non_negative("duration_us", self.duration_us)
 
 
 @dataclass(slots=True)
@@ -128,6 +132,35 @@ ProgramBuilder = Callable[[Dim3], ThreadBlockProgram]
 #: Signature of a tile-processing order: maps the dispatch counter value a
 #: thread block obtained to the tile it should process.
 TileOrderFn = Callable[[int], Dim3]
+
+
+#: Grids bigger than this are enumerated transiently instead of memoized:
+#: the memo's value is amortizing repeated small/medium launches (sweeps,
+#: benchmark repeats), not pinning hundred-MB tile tuples of one-off giant
+#: grids for the process lifetime.
+_ROW_MAJOR_MEMO_MAX_VOLUME = 65_536
+
+
+def row_major_tiles(grid: Dim3) -> Tuple[Dim3, ...]:
+    """All tiles of ``grid`` in CUDA's row-major block enumeration order.
+
+    ``row_major_tiles(grid)[i] == delinearize(i, grid)`` for every dispatch
+    index; the memo exists because the default enumeration is a pure
+    function of the grid, so the simulator's dispatch loop can index a
+    shared tuple instead of constructing (and re-validating) one
+    :class:`~repro.common.dim3.Dim3` per dispatched block.  Custom tile
+    orders (arbitrary callables) are not memoized, and grids above
+    :data:`_ROW_MAJOR_MEMO_MAX_VOLUME` blocks are enumerated per call so
+    the process-lifetime cache stays small.
+    """
+    if grid.volume > _ROW_MAJOR_MEMO_MAX_VOLUME:
+        return tuple(delinearize(index, grid) for index in range(grid.volume))
+    return _row_major_tiles_memo(grid)
+
+
+@lru_cache(maxsize=256)
+def _row_major_tiles_memo(grid: Dim3) -> Tuple[Dim3, ...]:
+    return tuple(delinearize(index, grid) for index in range(grid.volume))
 
 
 @dataclass
@@ -199,19 +232,25 @@ def simple_kernel(
 
     This helper exists mainly for tests and micro-benchmarks (e.g. the
     synchronization-overhead study of Section V-D uses a pair of copy
-    kernels, each of which is a single-segment block).
+    kernels, each of which is a single-segment block).  The per-block
+    programs are tiny and the grids these helpers use are small, so every
+    program is built *eagerly* here — the wait/post callables run once per
+    tile at construction time — and the launch's ``program_builder`` is a
+    dictionary lookup.  Benchmarks that time ``GpuSimulator.run`` on
+    simple kernels therefore measure the simulator, not the harness's
+    program allocation.
     """
-
-    def build(tile: Dim3) -> ThreadBlockProgram:
+    programs: dict = {}
+    for tile in row_major_tiles(grid):
         waits = list(waits_per_block(tile)) if waits_per_block is not None else []
         posts = list(posts_per_block(tile)) if posts_per_block is not None else []
         segment = Segment(label="body", waits=waits, duration_us=block_duration_us, posts=posts)
-        return ThreadBlockProgram(tile=tile, segments=[segment])
+        programs[tile] = ThreadBlockProgram(tile=tile, segments=[segment])
 
     return KernelLaunch(
         name=name,
         grid=grid,
-        program_builder=build,
+        program_builder=programs.__getitem__,
         occupancy=occupancy,
         stream=stream,
     )

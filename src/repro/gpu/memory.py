@@ -105,8 +105,18 @@ class GlobalMemory:
     # Semaphores
     # ------------------------------------------------------------------
     def alloc_semaphores(self, name: str, size: int, initial: int = 0) -> SemaphoreArray:
-        """Allocate (or reallocate) a named semaphore array."""
+        """Allocate (or reallocate) a named semaphore array.
+
+        Re-allocating a name at its existing size re-initializes the array
+        in place — the backing value list stays the same object, so direct
+        references held by fast paths (see :meth:`semaphore_backing_map`)
+        survive the warmup/measure re-allocation cycle of benchmark runs.
+        """
         check_non_negative("initial", initial)
+        existing = self._semaphores.get(name)
+        if existing is not None and existing.size == size:
+            existing.values[:] = [initial] * size
+            return existing
         array = SemaphoreArray(name=name, size=size, values=[initial] * size)
         self._semaphores[name] = array
         self._semaphore_values[name] = array.values
@@ -121,6 +131,25 @@ class GlobalMemory:
 
     def has_semaphores(self, name: str) -> bool:
         return name in self._semaphores
+
+    def semaphore_backing(self, name: str) -> List[int]:
+        """The raw value list backing one semaphore array.
+
+        The list is the live storage (arrays mutate it only in place), so
+        hot paths may hold it across an entire simulation run and index it
+        directly instead of going through :meth:`semaphore_value` per probe.
+        Callers bypassing the accessors own the bounds checking and must
+        fold their poll/atomic counts back into :attr:`semaphore_reads` /
+        :attr:`atomic_operations` if they want the statistics to persist.
+        """
+        try:
+            return self._semaphore_values[name]
+        except KeyError:
+            raise SimulationError(f"semaphore array '{name}' was never allocated") from None
+
+    def semaphore_backing_map(self) -> Dict[str, List[int]]:
+        """A snapshot dict of every array's raw backing list (see above)."""
+        return dict(self._semaphore_values)
 
     def semaphore_value(self, name: str, index: int) -> int:
         """Read one semaphore, counting the poll for overhead statistics."""

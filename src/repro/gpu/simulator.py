@@ -28,10 +28,40 @@ The simulator is deterministic: identical inputs produce identical traces.
 
 Hot-path structure (the invariants the fast paths preserve exactly):
 
+* **Threshold-indexed wakeups.**  CuSync semaphores are *monotone*: their
+  values only ever move upward (``atomic_add`` with positive increments)
+  within one run.  A blocked wait is therefore a fixed threshold that is
+  crossed exactly once, so waiters are indexed per ``(array, index)`` key
+  in a min-heap of ``(required value, registration order, block)`` entries
+  plus a per-block count of unsatisfied waits.  A post at value ``v`` pops
+  only the entries whose thresholds ``v`` crosses — O(log n) per wake —
+  and a block resumes when its unsatisfied count reaches zero.  Crossed
+  entries resume in registration order, which is exactly the insertion
+  order the previous rescan-the-registry implementation woke blocks in,
+  so traces are bit-identical.  The rescan implementation survives as the
+  ``wake_strategy="rescan"`` reference used by the differential stress
+  tests.
+* **Pre-resolved semaphore storage.**  Wait checks and posts operate on
+  the raw per-array value lists (resolved once per run from
+  :meth:`~repro.gpu.memory.GlobalMemory.semaphore_backing_map`), so the
+  per-probe ``GlobalMemory`` dict lookup, method dispatch and index
+  re-validation are off the hot path; poll/atomic statistics are kept in
+  run-local counters and flushed into the memory object once.
+* **Structure-of-arrays block records.**  The mutable per-block state
+  (segment index, duration factor, SM id, dispatch time, wait/work
+  accumulators, unsatisfied-wait count) lives in parallel lists indexed by
+  a dense block id assigned at dispatch; events carry the id.  This
+  replaces one heap-allocated record per block with flat list slots and
+  turns the per-event attribute chasing of ``complete_segment`` /
+  ``finish_block`` into constant-index loads.
 * **Integer SM capacity.**  Free SM capacity is tracked in integer units of
   ``1/lcm(occupancies)`` of an SM, so capacity arithmetic is exact and the
   "emptiest SM first, lowest id on ties" placement rule reduces to an exact
-  max-heap pop instead of an O(num_sms) epsilon-compare scan.
+  max-heap pop instead of an O(num_sms) epsilon-compare scan.  The lazy
+  heap is compacted (rebuilt from the live per-SM values) whenever stale
+  entries outnumber live ones, so long runs never grow it monotonically;
+  compaction only drops entries the pops would have skipped, leaving the
+  placement sequence unchanged.
 * **Incremental dispatch.**  Eligible launches with pending blocks live in
   a list kept sorted by (stream priority, launch index); a dispatch pass
   runs only when an SM slot was freed or a launch became eligible since the
@@ -47,18 +77,22 @@ import heapq
 import itertools
 import math
 from bisect import insort
-from dataclasses import dataclass, field
-from operator import attrgetter
+from dataclasses import dataclass
+from operator import itemgetter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.dim3 import Dim3
 from repro.errors import DeadlockError, SimulationError
 from repro.gpu.arch import GpuArchitecture, TESLA_V100
 from repro.gpu.costmodel import CostModel
-from repro.gpu.kernel import KernelLaunch, Segment, ThreadBlockProgram
-from repro.gpu.memory import GlobalMemory
+from repro.gpu.kernel import (
+    KernelLaunch,
+    Segment,
+    ThreadBlockProgram,
+    row_major_tiles,
+)
+from repro.gpu.memory import GlobalMemory, _raise_semaphore_index_error
 from repro.gpu.trace import (
-    BlockRecord,
     ExecutionTrace,
     KernelStats,
     analytic_utilization,
@@ -66,6 +100,22 @@ from repro.gpu.trace import (
 )
 
 _EPSILON = 1e-9
+
+# Event kinds (heap entries are ``(time, sequence, kind, payload)``; the
+# unique sequence number means kind/payload never participate in ordering).
+_EV_SEGMENT_DONE = 0
+_EV_ELIGIBLE = 1
+_EV_EMPTY_BLOCK = 2
+
+#: The lazy SM max-heap is rebuilt from the live per-SM free values when it
+#: grows past ``max(_SM_HEAP_COMPACT_FACTOR * num_sms, _SM_HEAP_COMPACT_MIN)``
+#: entries: at most ``num_sms`` entries can be live, so past the factor the
+#: stale entries outnumber them and the pops would mostly skip garbage.
+_SM_HEAP_COMPACT_FACTOR = 2
+_SM_HEAP_COMPACT_MIN = 64
+
+_entry_order = itemgetter(1)
+_entry_key = itemgetter(0)
 
 
 @dataclass(slots=True)
@@ -83,38 +133,32 @@ class _LaunchState:
     sort_key: Tuple[int, int] = (0, 0)
     #: SM capacity one block consumes, in integer capacity units.
     need_units: int = 0
+    #: ``launch.num_blocks``, cached as a plain int for the hot paths.
+    num_blocks: int = 0
+    #: ``launch.stream.stream_id``, cached for ``finish_block``.
+    stream_id: int = 0
+    #: The launch's :class:`~repro.gpu.trace.KernelStats` trace entry.
+    stats: Optional[KernelStats] = None
+    #: Per-block duration factors (vectorized, computed when first eligible).
+    factors: Optional[List[float]] = None
+    #: Memoized row-major tile list (``None`` when a custom order is set).
+    tiles: Optional[Sequence[Dim3]] = None
+    #: Trace-stat accumulators (copied into :attr:`stats` at run end; slot
+    #: attributes are cheaper than the stats object's dict attributes on
+    #: the per-block completion path, and the accumulation order matches
+    #: the per-record updates bit for bit).
+    first_dispatch_us: float = math.inf
+    end_time_us: float = 0.0
+    wait_sum_us: float = 0.0
+    work_sum_us: float = 0.0
 
     @property
     def pending_blocks(self) -> int:
-        return self.launch.num_blocks - self.dispatch_counter
+        return self.num_blocks - self.dispatch_counter
 
     @property
     def finished(self) -> bool:
-        return self.completed_blocks >= self.launch.num_blocks
-
-
-@dataclass(slots=True)
-class _BlockState:
-    """Mutable bookkeeping for one resident thread block."""
-
-    launch_state: _LaunchState
-    tile: Dim3
-    program: ThreadBlockProgram
-    dispatch_index: int
-    sm_id: int
-    dispatch_time_us: float
-    #: Deterministic duration multiplier modelling block-to-block variation.
-    duration_factor: float = 1.0
-    segment_index: int = 0
-    wait_time_us: float = 0.0
-    work_time_us: float = 0.0
-    waiting_since_us: Optional[float] = None
-    #: Semaphore keys this block is currently registered on.
-    registered_keys: Set[Tuple[str, int]] = field(default_factory=set)
-
-    @property
-    def name(self) -> str:
-        return f"{self.launch_state.launch.name}[tile={self.tile}]"
+        return self.completed_blocks >= self.num_blocks
 
 
 @dataclass
@@ -155,6 +199,14 @@ class GpuSimulator:
     tracked_tensors:
         Names of tensors whose tiles are produced *within* the simulated
         pipeline; reads of these are race-checked in functional mode.
+    wake_strategy:
+        ``"threshold"`` (the default) wakes blocked waiters through the
+        threshold index described in the module docstring; ``"rescan"``
+        keeps the brute-force reference behaviour — re-evaluating every
+        registered waiter's full wait set on each post — and exists for the
+        differential stress tests.  Both produce bit-identical traces; the
+        threshold index requires the CuSync invariant that semaphore values
+        are monotone non-decreasing within a run.
     """
 
     def __init__(
@@ -165,13 +217,23 @@ class GpuSimulator:
         functional: bool = False,
         tracked_tensors: Optional[Set[str]] = None,
         max_events: int = 50_000_000,
+        wake_strategy: str = "threshold",
     ) -> None:
+        if wake_strategy not in ("threshold", "rescan"):
+            raise SimulationError(
+                f"unknown wake strategy {wake_strategy!r}; choose 'threshold' or 'rescan'"
+            )
         self.arch = arch
         self.memory = memory if memory is not None else GlobalMemory()
         self.cost_model = cost_model if cost_model is not None else CostModel(arch=arch)
         self.functional = functional
         self.tracked_tensors = set(tracked_tensors) if tracked_tensors is not None else None
         self.max_events = max_events
+        self.wake_strategy = wake_strategy
+        #: Peak size the lazy SM heap reached in the last run (diagnostic
+        #: for the stale-entry compaction; bounded by the compaction limit
+        #: plus one wave of pushes).
+        self.sm_heap_peak: int = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -182,26 +244,33 @@ class GpuSimulator:
             raise SimulationError("no kernels to simulate")
 
         memory = self.memory
+        functional = self.functional
+        tracked_tensors = self.tracked_tensors
+        rescan = self.wake_strategy == "rescan"
+        cost_model = self.cost_model
         states = self._prepare_launch_states(launches)
         trace = self._prepare_trace(states)
+        for state in states:
+            state.stats = trace.kernels[state.launch.name]
 
-        # Event queue entries: (time, sequence, kind, payload)
-        events: List[Tuple[float, int, str, object]] = []
+        # Event queue entries: (time, sequence, kind, payload).
+        events: List[Tuple[float, int, int, object]] = []
         sequence = itertools.count()
-
-        def push(time: float, kind: str, payload: object) -> None:
-            heapq.heappush(events, (time, next(sequence), kind, payload))
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        heapreplace = heapq.heapreplace
+        heapify = heapq.heapify
 
         # Stream bookkeeping: ordered launches per stream.
         stream_queues: Dict[int, List[_LaunchState]] = {}
         for state in states:
-            stream_queues.setdefault(state.launch.stream.stream_id, []).append(state)
+            stream_queues.setdefault(state.stream_id, []).append(state)
         stream_positions: Dict[int, int] = {sid: 0 for sid in stream_queues}
 
         # The head launch of every stream becomes eligible at its issue time.
         for stream_id, queue in stream_queues.items():
             head = queue[0]
-            push(head.issue_time_us, "eligible", head)
+            heappush(events, (head.issue_time_us, next(sequence), _EV_ELIGIBLE, head))
 
         # SM capacity tracking in exact integer units: one SM holds
         # ``capacity_unit`` units, a block of occupancy k consumes
@@ -212,42 +281,63 @@ class GpuSimulator:
         capacity_unit = math.lcm(*{state.launch.occupancy for state in states})
         for state in states:
             state.need_units = capacity_unit // state.launch.occupancy
-        sm_free: List[int] = [capacity_unit] * self.arch.num_sms
+        num_sms = self.arch.num_sms
+        sm_free: List[int] = [capacity_unit] * num_sms
         # Lazy max-heap over (-free, sm_id).  Entries are invalidated by
         # comparing against ``sm_free`` on pop; every capacity change pushes
         # a fresh entry.  Ties on free capacity resolve to the lowest sm_id,
-        # exactly like the sequential scan this replaces.
-        sm_heap: List[Tuple[int, int]] = [(-capacity_unit, sm_id) for sm_id in range(self.arch.num_sms)]
+        # exactly like the sequential scan this replaces.  The initial list
+        # is sorted, hence already a valid heap.
+        sm_heap: List[Tuple[int, int]] = [(-capacity_unit, sm_id) for sm_id in range(num_sms)]
+        sm_heap_limit = max(_SM_HEAP_COMPACT_FACTOR * num_sms, _SM_HEAP_COMPACT_MIN)
+        sm_heap_peak = num_sms
 
-        def take_sm(need: int) -> Optional[int]:
-            """Claim ``need`` units on the emptiest SM, or None if none fits."""
-            while sm_heap:
-                neg_free, sm_id = sm_heap[0]
-                free = -neg_free
-                if sm_free[sm_id] != free:
-                    heapq.heappop(sm_heap)  # stale entry
-                    continue
-                if free < need:
-                    # The emptiest SM cannot fit the block; nothing can.
-                    return None
-                heapq.heappop(sm_heap)
-                remaining = free - need
-                sm_free[sm_id] = remaining
-                heapq.heappush(sm_heap, (-remaining, sm_id))
-                return sm_id
-            return None
+        # Structure-of-arrays block records, indexed by the dense block id
+        # assigned at dispatch.  Slots are pre-allocated (the total block
+        # count is known up front) and ids are never reused.
+        total_blocks = sum(state.num_blocks for state in states)
+        blk_state: List[Optional[_LaunchState]] = [None] * total_blocks
+        blk_tile: List[Optional[Dim3]] = [None] * total_blocks
+        blk_segments: List[Optional[List[Segment]]] = [None] * total_blocks
+        blk_segment_index: List[int] = [0] * total_blocks
+        blk_dispatch_index: List[int] = [0] * total_blocks
+        blk_sm: List[int] = [0] * total_blocks
+        blk_dispatch_time: List[float] = [0.0] * total_blocks
+        blk_factor: List[float] = [1.0] * total_blocks
+        blk_wait_time: List[float] = [0.0] * total_blocks
+        blk_work_time: List[float] = [0.0] * total_blocks
+        blk_waiting_since: List[Optional[float]] = [None] * total_blocks
+        #: Number of registered-but-uncrossed wait thresholds per block
+        #: (threshold strategy: the block resumes when this reaches zero).
+        blk_unsatisfied: List[int] = [0] * total_blocks
+        #: Keys the block is registered on (rescan reference strategy only).
+        blk_registered: List[Optional[Set[Tuple[str, int]]]] = [None] * total_blocks
+        # Residency is implicit: a dispatched block's ``blk_state`` slot is
+        # cleared when it finishes, so the (cold) deadlock report can scan
+        # for still-resident blocks without per-block set maintenance.
+        next_block_id = 0
 
-        def release_sm(sm_id: int, units: int) -> None:
-            freed = min(capacity_unit, sm_free[sm_id] + units)
-            sm_free[sm_id] = freed
-            heapq.heappush(sm_heap, (-freed, sm_id))
+        # Pre-resolved semaphore storage: array name -> raw value list.  The
+        # lists are the live backing stores (mutated in place only), so one
+        # dict lookup per probe replaces the GlobalMemory accessor chain;
+        # poll/atomic statistics accumulate locally and flush once at exit.
+        sem_values: Dict[str, List[int]] = memory.semaphore_backing_map()
+        sem_values_get = sem_values.get
+        polls = 0
+        atomics = 0
 
-        # Blocks waiting on semaphores: (array, index) -> insertion-ordered
-        # registry keyed by id(block).  Registration deduplicates at insert
-        # time, and de-registration from other keys is an O(1) pop.
-        waiters: Dict[Tuple[str, int], Dict[int, _BlockState]] = {}
+        def _missing_array(name: str) -> None:
+            raise SimulationError(f"semaphore array '{name}' was never allocated")
 
-        resident_blocks: Dict[int, _BlockState] = {}
+        # Threshold index: (array, index) -> min-heap of
+        # (required value, registration order, block id).  Entries are popped
+        # exactly once, when a post crosses their threshold; there are no
+        # stale entries to skip or rescans to run.
+        waiters: Dict[Tuple[str, int], List[Tuple[int, int, int]]] = {}
+        registration = itertools.count()
+        # Rescan reference strategy: (array, index) -> insertion-ordered
+        # registry of blocked block ids (the pre-threshold-index structure).
+        rescan_waiters: Dict[Tuple[str, int], Dict[int, None]] = {}
 
         # Eligible launches with pending blocks, sorted by (priority, launch
         # index).  ``dispatch_needed`` records whether anything changed since
@@ -259,253 +349,492 @@ class GpuSimulator:
 
         # Synchronization overheads are pure functions of the architecture;
         # hoist them out of the per-segment scheduling path.
-        wait_overhead_us = self.cost_model.wait_overhead_us()
-        satisfied_wait_overhead_us = self.cost_model.satisfied_wait_overhead_us()
-        post_overhead_us = self.cost_model.post_overhead_us()
+        wait_overhead_us = cost_model.wait_overhead_us()
+        satisfied_wait_overhead_us = cost_model.satisfied_wait_overhead_us()
+        post_overhead_us = cost_model.post_overhead_us()
         wait_resume_latency_us = self.arch.wait_resume_latency_us
+        dispatch_gap_us = cost_model.kernel_dispatch_gap_us()
 
         now = 0.0
         processed = 0
-        total_blocks = sum(state.launch.num_blocks for state in states)
         completed_blocks_total = 0
 
         # --------------------------------------------------------------
         # Inner helpers (closures over the run-local state)
         # --------------------------------------------------------------
+        def block_name(block_id: int) -> str:
+            return f"{blk_state[block_id].launch.name}[tile={blk_tile[block_id]}]"
+
         def mark_eligible(state: _LaunchState) -> None:
             nonlocal dispatch_needed
             if not state.eligible:
                 state.eligible = True
-                insort(eligible_order, state, key=attrgetter("sort_key"))
+                launch = state.launch
+                if state.factors is None:
+                    state.factors = cost_model.block_duration_factors(
+                        launch.name, state.num_blocks
+                    )
+                    if launch.tile_order is None:
+                        state.tiles = row_major_tiles(launch.grid)
+                # Eligible entries carry the dispatch loop's hot fields
+                # pre-loaded, so a pass costs one tuple unpack per launch
+                # instead of eight attribute chases.
+                insort(
+                    eligible_order,
+                    (
+                        state.sort_key,
+                        state,
+                        launch,
+                        state.num_blocks,
+                        state.need_units,
+                        state.tiles,
+                        launch.tile_order,
+                        launch.program_builder,
+                        state.factors,
+                    ),
+                    key=_entry_key,
+                )
                 dispatch_needed = True
 
         def stream_advance(stream_id: int, time: float) -> None:
             """Move the stream head forward past completed launches."""
             queue = stream_queues[stream_id]
             position = stream_positions[stream_id]
-            dispatch_gap = self.cost_model.kernel_dispatch_gap_us()
             while position < len(queue) and queue[position].finished:
                 position += 1
                 if position < len(queue):
                     successor = queue[position]
                     # A queued kernel pays a small device-side dispatch gap
                     # after its stream predecessor completes.
-                    when = max(time + dispatch_gap, successor.issue_time_us)
-                    push(when, "eligible", successor)
+                    when = max(time + dispatch_gap_us, successor.issue_time_us)
+                    heappush(events, (when, next(sequence), _EV_ELIGIBLE, successor))
             stream_positions[stream_id] = position
 
-        def start_segment(block: _BlockState, time: float) -> None:
-            """Begin the block's current segment, waiting if necessary."""
-            segment = block.program.segments[block.segment_index]
-            if segment.waits:
-                unsatisfied = [w for w in segment.waits if not w.satisfied(memory)]
-                if unsatisfied:
-                    block.waiting_since_us = time
-                    registered = block.registered_keys
-                    block_id = id(block)
-                    for wait in unsatisfied:
-                        key = (wait.array, wait.index)
-                        if key not in registered:
-                            waiters.setdefault(key, {})[block_id] = block
-                            registered.add(key)
-                    return
-            schedule_segment_completion(block, time, resumed=False)
+        def start_segment(block_id: int, segment: Segment, time: float) -> None:
+            """Begin the block's current segment, waiting if necessary.
 
-        def schedule_segment_completion(
-            block: _BlockState, time: float, resumed: bool, waited_us: float = 0.0
-        ) -> None:
-            segment = block.program.segments[block.segment_index]
-            if resumed:
-                overhead = wait_overhead_us * len(segment.waits)
-                overhead += wait_resume_latency_us
-            elif segment.waits:
-                overhead = satisfied_wait_overhead_us * len(segment.waits)
+            ``segment`` is ``blk_segments[block_id][blk_segment_index[block_id]]``,
+            passed in because every caller already holds it.
+            """
+            nonlocal polls
+            waits = segment.waits
+            if waits:
+                # One pass over the waits against the raw value lists;
+                # unsatisfied thresholds aggregate per key (max required),
+                # preserving first-occurrence key order.
+                polls += len(waits)
+                unsatisfied: Optional[Dict[Tuple[str, int], int]] = None
+                for wait in waits:
+                    values = sem_values_get(wait.array)
+                    if values is None:
+                        _missing_array(wait.array)
+                    index = wait.index
+                    if index < 0 or index >= len(values):
+                        _raise_semaphore_index_error(wait.array, index, len(values))
+                    required = wait.required
+                    if values[index] < required:
+                        key = (wait.array, index)
+                        if unsatisfied is None:
+                            unsatisfied = {key: required}
+                        else:
+                            previous = unsatisfied.get(key)
+                            if previous is None or required > previous:
+                                unsatisfied[key] = required
+                if unsatisfied is not None:
+                    blk_waiting_since[block_id] = time
+                    if rescan:
+                        registered = blk_registered[block_id]
+                        if registered is None:
+                            registered = set()
+                            blk_registered[block_id] = registered
+                        for key in unsatisfied:
+                            if key not in registered:
+                                rescan_waiters.setdefault(key, {})[block_id] = None
+                                registered.add(key)
+                    else:
+                        blk_unsatisfied[block_id] = len(unsatisfied)
+                        for key, required in unsatisfied.items():
+                            entry = (required, next(registration), block_id)
+                            heap = waiters.get(key)
+                            if heap is None:
+                                waiters[key] = [entry]
+                            else:
+                                heappush(heap, entry)
+                    return
+                overhead = satisfied_wait_overhead_us * len(waits)
             else:
                 overhead = 0.0
-            if segment.posts:
-                overhead += post_overhead_us * len(segment.posts)
-            duration = segment.duration_us * block.duration_factor + overhead
-            if waited_us > 0.0 and segment.overlappable_us > 0.0:
-                # Work the block performed while busy-waiting (e.g. loading
-                # the other operand's tile) does not need to be repeated.
-                duration = max(0.0, duration - min(segment.overlappable_us, waited_us))
-            block.work_time_us += duration
-
-            if self.functional:
+            posts = segment.posts
+            if posts:
+                overhead += post_overhead_us * len(posts)
+            duration = segment.duration_us * blk_factor[block_id] + overhead
+            blk_work_time[block_id] += duration
+            if functional:
                 for access in segment.reads:
                     memory.check_tile_read(
-                        access.tensor, access.tile_key, reader=block.name, tracked_tensors=self.tracked_tensors
+                        access.tensor,
+                        access.tile_key,
+                        reader=block_name(block_id),
+                        tracked_tensors=tracked_tensors,
                     )
-            push(time + duration, "segment_done", block)
+            heappush(events, (time + duration, next(sequence), _EV_SEGMENT_DONE, block_id))
 
-        def wake_waiters(key: Tuple[str, int], time: float) -> None:
-            blocked = waiters.pop(key, None)
+        def resume_block(block_id: int, time: float) -> None:
+            """Schedule the blocked segment's completion after its waits clear."""
+            waited = time - blk_waiting_since[block_id]
+            blk_wait_time[block_id] += waited
+            blk_waiting_since[block_id] = None
+            segment = blk_segments[block_id][blk_segment_index[block_id]]
+            overhead = wait_overhead_us * len(segment.waits) + wait_resume_latency_us
+            posts = segment.posts
+            if posts:
+                overhead += post_overhead_us * len(posts)
+            duration = segment.duration_us * blk_factor[block_id] + overhead
+            if waited > 0.0 and segment.overlappable_us > 0.0:
+                # Work the block performed while busy-waiting (e.g. loading
+                # the other operand's tile) does not need to be repeated.
+                duration = max(0.0, duration - min(segment.overlappable_us, waited))
+            blk_work_time[block_id] += duration
+            if functional:
+                for access in segment.reads:
+                    memory.check_tile_read(
+                        access.tensor,
+                        access.tile_key,
+                        reader=block_name(block_id),
+                        tracked_tensors=tracked_tensors,
+                    )
+            heappush(events, (time + duration, next(sequence), _EV_SEGMENT_DONE, block_id))
+
+        def wake_threshold(key: Tuple[str, int], value: int, time: float) -> None:
+            """Pop the waiters whose thresholds ``value`` crossed; resume at zero."""
+            heap = waiters.get(key)
+            if not heap or heap[0][0] > value:
+                return
+            first = heappop(heap)
+            crossed: Optional[List[Tuple[int, int, int]]] = None
+            while heap and heap[0][0] <= value:
+                if crossed is None:
+                    crossed = [first]
+                crossed.append(heappop(heap))
+            if not heap:
+                del waiters[key]
+            if crossed is None:
+                block_id = first[2]
+                remaining = blk_unsatisfied[block_id] - 1
+                blk_unsatisfied[block_id] = remaining
+                if remaining == 0:
+                    resume_block(block_id, time)
+                return
+            # Resume in registration order — the insertion order the rescan
+            # registry woke blocks in, keeping traces bit-identical.
+            crossed.sort(key=_entry_order)
+            for _, _, block_id in crossed:
+                remaining = blk_unsatisfied[block_id] - 1
+                blk_unsatisfied[block_id] = remaining
+                if remaining == 0:
+                    resume_block(block_id, time)
+
+        def wake_rescan(key: Tuple[str, int], value: int, time: float) -> None:
+            """Reference strategy: re-evaluate every waiter registered on ``key``."""
+            nonlocal polls
+            blocked = rescan_waiters.pop(key, None)
             if not blocked:
                 return
-            still_blocked: Dict[int, _BlockState] = {}
-            for block_id, block in blocked.items():
-                if block.waiting_since_us is None:
+            still_blocked: Dict[int, None] = {}
+            for block_id in blocked:
+                if blk_waiting_since[block_id] is None:
                     # Already resumed via another semaphore this instant.
                     continue
-                segment = block.program.segments[block.segment_index]
-                if all(w.satisfied(memory) for w in segment.waits):
+                segment = blk_segments[block_id][blk_segment_index[block_id]]
+                satisfied = True
+                for wait in segment.waits:
+                    polls += 1
+                    values = sem_values_get(wait.array)
+                    if values is None:
+                        _missing_array(wait.array)
+                    index = wait.index
+                    if index < 0 or index >= len(values):
+                        _raise_semaphore_index_error(wait.array, index, len(values))
+                    if values[index] < wait.required:
+                        satisfied = False
+                        break
+                if satisfied:
                     # De-register from any other keys it was parked on.
-                    for other in block.registered_keys:
+                    registered = blk_registered[block_id]
+                    for other in registered:
                         if other != key:
-                            other_registry = waiters.get(other)
+                            other_registry = rescan_waiters.get(other)
                             if other_registry is not None:
                                 other_registry.pop(block_id, None)
-                    block.registered_keys.clear()
-                    waited = time - block.waiting_since_us
-                    block.wait_time_us += waited
-                    block.waiting_since_us = None
-                    schedule_segment_completion(block, time, resumed=True, waited_us=waited)
+                    registered.clear()
+                    resume_block(block_id, time)
                 else:
-                    still_blocked[block_id] = block
+                    still_blocked[block_id] = None
             if still_blocked:
-                waiters[key] = still_blocked
+                rescan_waiters[key] = still_blocked
 
-        def apply_posts(segment: Segment, time: float) -> None:
-            for post in segment.posts:
-                post.apply(memory)
-                wake_waiters((post.array, post.index), time)
+        wake = wake_rescan if rescan else wake_threshold
 
-        def finish_block(block: _BlockState, time: float) -> None:
-            """Free the block's SM slot and record its trace entry."""
-            nonlocal completed_blocks_total, dispatch_needed
-            state = block.launch_state
-            release_sm(block.sm_id, state.need_units)
-            resident_blocks.pop(id(block), None)
+        def apply_post(post, time: float) -> None:
+            """Apply one semaphore post against the raw storage and wake.
+
+            The caller accounts the atomic operation (batched per segment).
+            """
+            array = post.array
+            values = sem_values_get(array)
+            if values is None:
+                _missing_array(array)
+            index = post.index
+            if index < 0 or index >= len(values):
+                _raise_semaphore_index_error(array, index, len(values))
+            value = values[index] + post.increment
+            values[index] = value
+            wake((array, index), value, time)
+
+        deferred_blocks_append = trace.deferred_blocks.append
+
+        def finish_block(block_id: int, time: float) -> None:
+            """Free the block's SM slot and record its trace row."""
+            nonlocal completed_blocks_total, dispatch_needed, sm_heap_peak
+            state = blk_state[block_id]
+            blk_state[block_id] = None  # no longer resident
+            sm_id = blk_sm[block_id]
+            freed = sm_free[sm_id] + state.need_units
+            if freed > capacity_unit:
+                freed = capacity_unit
+            sm_free[sm_id] = freed
+            heappush(sm_heap, (-freed, sm_id))
+            # Stale-entry compaction: rebuild from the live per-SM values
+            # once stale entries are guaranteed to outnumber them.  Heapify
+            # keeps only the live entries; pops return the same value
+            # sequence as the lazy heap (which merely skips the stale
+            # entries), so placement is unchanged.
+            heap_size = len(sm_heap)
+            if heap_size > sm_heap_limit:
+                if heap_size > sm_heap_peak:
+                    sm_heap_peak = heap_size
+                sm_heap[:] = [(-free, sm) for sm, free in enumerate(sm_free)]
+                heapify(sm_heap)
             state.completed_blocks += 1
             completed_blocks_total += 1
             dispatch_needed = True
 
-            trace.add_block(
-                BlockRecord(
-                    kernel=state.launch.name,
-                    launch_index=state.launch_index,
-                    tile=block.tile,
-                    dispatch_index=block.dispatch_index,
-                    sm_id=block.sm_id,
-                    dispatch_time_us=block.dispatch_time_us,
-                    end_time_us=time,
-                    wait_time_us=block.wait_time_us,
-                    work_time_us=block.work_time_us,
+            wait_time = blk_wait_time[block_id]
+            work_time = blk_work_time[block_id]
+            deferred_blocks_append(
+                (
+                    state.launch.name,
+                    state.launch_index,
+                    blk_tile[block_id],
+                    blk_dispatch_index[block_id],
+                    sm_id,
+                    blk_dispatch_time[block_id],
+                    time,
+                    wait_time,
+                    work_time,
                 )
             )
+            if time > state.end_time_us:
+                state.end_time_us = time
+            state.wait_sum_us += wait_time
+            state.work_sum_us += work_time
 
-            if state.finished:
-                stream_advance(state.launch.stream.stream_id, time)
+            if state.completed_blocks >= state.num_blocks:
+                stream_advance(state.stream_id, time)
 
-        def complete_segment(block: _BlockState, time: float) -> None:
-            segment = block.program.segments[block.segment_index]
-            if self.functional and segment.compute is not None:
+        def complete_segment(block_id: int, time: float) -> None:
+            nonlocal atomics
+            segments = blk_segments[block_id]
+            segment_index = blk_segment_index[block_id]
+            segment = segments[segment_index]
+            if functional and segment.compute is not None:
                 segment.compute(memory)
             for access in segment.writes:
                 memory.mark_tile_written(access.tensor, access.tile_key)
-            apply_posts(segment, time)
+            posts = segment.posts
+            if posts:
+                atomics += len(posts)
+                for post in posts:
+                    # Inlined apply_post: this is the producer hot path.
+                    array = post.array
+                    values = sem_values_get(array)
+                    if values is None:
+                        _missing_array(array)
+                    index = post.index
+                    if index < 0 or index >= len(values):
+                        _raise_semaphore_index_error(array, index, len(values))
+                    value = values[index] + post.increment
+                    values[index] = value
+                    wake((array, index), value, time)
 
-            block.segment_index += 1
-            if block.segment_index < len(block.program.segments):
-                start_segment(block, time)
+            segment_index += 1
+            if segment_index < len(segments):
+                blk_segment_index[block_id] = segment_index
+                start_segment(block_id, segments[segment_index], time)
             else:
-                finish_block(block, time)
+                finish_block(block_id, time)
 
         def dispatch(time: float) -> None:
             """Place pending blocks of eligible kernels onto free SM slots."""
-            nonlocal dispatch_needed
-            if not dispatch_needed:
-                return
+            nonlocal dispatch_needed, next_block_id, atomics
             dispatch_needed = False
             if not eligible_order:
                 return
-            exhausted: List[_LaunchState] = []
-            for state in eligible_order:
-                launch = state.launch
-                num_blocks = launch.num_blocks
-                need = state.need_units
-                while state.dispatch_counter < num_blocks:
-                    sm_id = take_sm(need)
-                    if sm_id is None:
+            exhausted: Optional[list] = None
+            for entry in eligible_order:
+                (
+                    _,
+                    state,
+                    launch,
+                    num_blocks,
+                    need,
+                    tiles,
+                    tile_order,
+                    program_builder,
+                    factors,
+                ) = entry
+                dispatch_counter = state.dispatch_counter
+                while dispatch_counter < num_blocks:
+                    # Inline take_sm: claim ``need`` units on the emptiest SM.
+                    sm_id = -1
+                    while sm_heap:
+                        neg_free, candidate = sm_heap[0]
+                        free = -neg_free
+                        if sm_free[candidate] != free:
+                            heappop(sm_heap)  # stale entry
+                            continue
+                        if free < need:
+                            # The emptiest SM cannot fit the block.
+                            break
+                        remaining = free - need
+                        sm_free[candidate] = remaining
+                        heapreplace(sm_heap, (-remaining, candidate))
+                        sm_id = candidate
                         break
-                    dispatch_index = state.dispatch_counter
-                    state.dispatch_counter = dispatch_index + 1
-                    tile = launch.tile_for_dispatch(dispatch_index)
-                    program = launch.build_program(tile)
-                    block = _BlockState(
-                        launch_state=state,
-                        tile=tile,
-                        program=program,
-                        dispatch_index=dispatch_index,
-                        sm_id=sm_id,
-                        dispatch_time_us=time,
-                        duration_factor=self.cost_model.block_duration_factor(
-                            launch.name, dispatch_index
-                        ),
+                    if sm_id < 0:
+                        break
+                    dispatch_index = dispatch_counter
+                    dispatch_counter += 1
+                    tile = (
+                        tiles[dispatch_index]
+                        if tiles is not None
+                        else tile_order(dispatch_index)
                     )
-                    resident_blocks[id(block)] = block
+                    program = program_builder(tile)
+                    block_id = next_block_id
+                    next_block_id += 1
+                    blk_state[block_id] = state
+                    blk_tile[block_id] = tile
+                    blk_dispatch_index[block_id] = dispatch_index
+                    blk_sm[block_id] = sm_id
+                    blk_dispatch_time[block_id] = time
+                    blk_factor[block_id] = factors[dispatch_index]
 
                     if not state.started:
                         state.started = True
-                        for post in launch.on_first_block_start:
-                            post.apply(memory)
-                            wake_waiters((post.array, post.index), time)
+                        state.first_dispatch_us = time
+                        # Validate the builder's return type once per launch
+                        # (the per-block isinstance check was pure overhead).
+                        if not isinstance(program, ThreadBlockProgram):
+                            raise TypeError(
+                                f"program_builder of kernel '{launch.name}' returned "
+                                f"{type(program).__name__}, expected ThreadBlockProgram"
+                            )
+                        first_posts = launch.on_first_block_start
+                        if first_posts:
+                            atomics += len(first_posts)
+                            for post in first_posts:
+                                apply_post(post, time)
 
-                    if not program.segments:
+                    segments = program.segments
+                    blk_segments[block_id] = segments
+                    if not segments:
                         # A degenerate empty program completes immediately
                         # (without mutating the — possibly shared — program).
-                        push(time, "block_done_empty", block)
+                        heappush(events, (time, next(sequence), _EV_EMPTY_BLOCK, block_id))
                     else:
-                        start_segment(block, time)
-                if state.dispatch_counter >= num_blocks:
-                    exhausted.append(state)
-            for state in exhausted:
-                eligible_order.remove(state)
-
-        def handle_event(kind: str, payload: object, time: float) -> None:
-            if kind == "segment_done":
-                complete_segment(payload, time)  # type: ignore[arg-type]
-            elif kind == "eligible":
-                mark_eligible(payload)  # type: ignore[arg-type]
-            elif kind == "block_done_empty":
-                finish_block(payload, time)  # type: ignore[arg-type]
-            else:  # pragma: no cover - defensive
-                raise SimulationError(f"unknown event kind {kind!r}")
+                        start_segment(block_id, segments[0], time)
+                state.dispatch_counter = dispatch_counter
+                if dispatch_counter >= num_blocks:
+                    if exhausted is None:
+                        exhausted = [entry]
+                    else:
+                        exhausted.append(entry)
+            if exhausted is not None:
+                for entry in exhausted:
+                    eligible_order.remove(entry)
 
         # --------------------------------------------------------------
         # Main event loop
         # --------------------------------------------------------------
-        while events:
-            processed += 1
-            if processed > self.max_events:
-                raise SimulationError(
-                    f"simulation exceeded {self.max_events} events; "
-                    "likely a livelock in the synchronization policy"
-                )
-            time, _, kind, payload = heapq.heappop(events)
-            if time + _EPSILON < now:
-                raise SimulationError("event queue produced a time in the past")
-            now = max(now, time)
+        max_events = self.max_events
+        try:
+            while events:
+                processed += 1
+                if processed > max_events:
+                    raise SimulationError(
+                        f"simulation exceeded {max_events} events; "
+                        "likely a livelock in the synchronization policy"
+                    )
+                time, _, kind, payload = heappop(events)
+                if time + _EPSILON < now:
+                    raise SimulationError("event queue produced a time in the past")
+                if time > now:
+                    now = time
 
-            handle_event(kind, payload, now)
+                if kind == _EV_SEGMENT_DONE:
+                    complete_segment(payload, now)
+                elif kind == _EV_ELIGIBLE:
+                    mark_eligible(payload)
+                else:
+                    finish_block(payload, now)
 
-            # Coalesce events at the same timestamp before dispatching so a
-            # whole wave frees its slots before the next wave is placed.
-            while events and abs(events[0][0] - now) <= _EPSILON:
-                _, _, kind, payload = heapq.heappop(events)
-                handle_event(kind, payload, now)
+                # Coalesce events at the same timestamp before dispatching so
+                # a whole wave frees its slots before the next wave is placed.
+                while events and -_EPSILON <= events[0][0] - now <= _EPSILON:
+                    _, _, kind, payload = heappop(events)
+                    if kind == _EV_SEGMENT_DONE:
+                        complete_segment(payload, now)
+                    elif kind == _EV_ELIGIBLE:
+                        mark_eligible(payload)
+                    else:
+                        finish_block(payload, now)
 
-            dispatch(now)
+                if dispatch_needed and eligible_order:
+                    dispatch(now)
 
-            if not events and completed_blocks_total < total_blocks:
-                stuck = [block.name for block in resident_blocks.values()]
-                raise DeadlockError(
-                    "simulated GPU deadlocked: "
-                    f"{total_blocks - completed_blocks_total} blocks cannot make progress "
-                    f"({len(stuck)} resident blocks are busy-waiting). "
-                    "This is the failure the wait-kernel mechanism prevents (Section III-B).",
-                    waiting_blocks=stuck,
-                )
+                if not events and completed_blocks_total < total_blocks:
+                    stuck = [
+                        block_name(block_id)
+                        for block_id in range(next_block_id)
+                        if blk_state[block_id] is not None
+                    ]
+                    raise DeadlockError(
+                        "simulated GPU deadlocked: "
+                        f"{total_blocks - completed_blocks_total} blocks cannot make progress "
+                        f"({len(stuck)} resident blocks are busy-waiting). "
+                        "This is the failure the wait-kernel mechanism prevents (Section III-B).",
+                        waiting_blocks=stuck,
+                    )
+        finally:
+            # Flush the run-local statistics into the memory object (the
+            # raw-list fast paths bypass the counting accessors).
+            memory.semaphore_reads += polls
+            memory.atomic_operations += atomics
+            if len(sm_heap) > sm_heap_peak:
+                sm_heap_peak = len(sm_heap)
+            self.sm_heap_peak = sm_heap_peak
+
+        # Copy the per-launch accumulators into the trace statistics (the
+        # per-block updates ran on _LaunchState slots; the accumulation
+        # order was identical, so the values match the per-record path bit
+        # for bit).
+        for state in states:
+            stats = state.stats
+            stats.start_time_us = state.first_dispatch_us
+            stats.end_time_us = state.end_time_us
+            stats.total_wait_time_us = state.wait_sum_us
+            stats.total_work_time_us = state.work_sum_us
 
         trace.total_time_us = now
         host_issue_time = max(state.issue_time_us for state in states)
@@ -523,19 +852,22 @@ class GpuSimulator:
         states: List[_LaunchState] = []
         host_time = 0.0
         names_seen: Set[str] = set()
+        launch_cost = self.cost_model.kernel_launch_us()
         for index, launch in enumerate(launches):
             if launch.name in names_seen:
                 raise SimulationError(
                     f"duplicate kernel name '{launch.name}'; launches must be uniquely named"
                 )
             names_seen.add(launch.name)
-            host_time += launch.issue_delay_us + self.cost_model.kernel_launch_us()
+            host_time += launch.issue_delay_us + launch_cost
             states.append(
                 _LaunchState(
                     launch=launch,
                     launch_index=index,
                     issue_time_us=host_time,
                     sort_key=(launch.stream.priority, index),
+                    num_blocks=launch.num_blocks,
+                    stream_id=launch.stream.stream_id,
                 )
             )
         return states

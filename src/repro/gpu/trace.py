@@ -87,14 +87,45 @@ class KernelStats:
         return self.end_time_us - self.start_time_us
 
 
-@dataclass
+@dataclass(eq=False)
 class ExecutionTrace:
-    """Complete record of one simulation run."""
+    """Complete record of one simulation run.
+
+    Block records are materialized lazily: the simulator's hot loop appends
+    plain rows (the :class:`BlockRecord` fields in declaration order) to
+    :attr:`deferred_blocks`, and the first access of :attr:`blocks` turns
+    them into :class:`BlockRecord` objects — in the same completion order —
+    so runs whose traces are never inspected block-by-block (sweep points,
+    throughput benchmarks) skip one record construction per thread block.
+    Equality compares the materialized view, so two traces with identical
+    content are equal regardless of which one has been inspected already.
+    """
 
     arch: GpuArchitecture
-    blocks: List[BlockRecord] = field(default_factory=list)
     kernels: Dict[str, KernelStats] = field(default_factory=dict)
     total_time_us: float = 0.0
+    #: Raw block rows pending materialization (simulator-internal).
+    deferred_blocks: List[tuple] = field(default_factory=list, repr=False)
+    _blocks: List[BlockRecord] = field(default_factory=list, repr=False)
+
+    @property
+    def blocks(self) -> List[BlockRecord]:
+        """All block records, in completion order."""
+        deferred = self.deferred_blocks
+        if deferred:
+            self._blocks.extend(BlockRecord(*row) for row in deferred)
+            deferred.clear()
+        return self._blocks
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExecutionTrace):
+            return NotImplemented
+        return (
+            self.arch == other.arch
+            and self.kernels == other.kernels
+            and self.total_time_us == other.total_time_us
+            and self.blocks == other.blocks
+        )
 
     def add_block(self, record: BlockRecord) -> None:
         self.blocks.append(record)

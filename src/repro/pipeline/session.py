@@ -42,7 +42,7 @@ import threading
 import warnings
 import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -61,7 +61,11 @@ from repro.gpu.costmodel import CostModel
 from repro.gpu.memory import GlobalMemory
 from repro.cusync.handle import PipelineResult
 from repro.cusync.optimizations import OptimizationFlags
-from repro.cusync.policies import PolicyAssignment, PolicySpec
+from repro.cusync.policies import (
+    PolicyAssignment,
+    PolicySpec,
+    policy_registry_generation,
+)
 from repro.pipeline.executors import (
     ExecutionContext,
     PolicyLike,
@@ -159,6 +163,11 @@ class SweepResult:
     #: Which graph of a multi-graph sweep produced this result (the graph's
     #: ``name`` when set, otherwise its position in the work list).
     graph_label: str = ""
+    #: Whether this result was replayed from the session's sweep cache
+    #: instead of simulated fresh (see :class:`Session`).  Diagnostic
+    #: metadata: replayed results are bit-identical to fresh ones, so the
+    #: flag is excluded from equality.
+    cached: bool = field(default=False, compare=False)
 
     @property
     def policy_label(self) -> str:
@@ -240,6 +249,21 @@ def _closure_culprit(graph: PipelineGraph) -> Optional[str]:
         if not _picklable(stage.kernel):
             return f"stage {stage.name!r} holds an unpicklable kernel"
     return "the graph object itself cannot be pickled"
+
+
+def _evict_graph_entries(session_ref: "weakref.ref[Session]", token: int) -> None:
+    """Drop a dead graph's sweep-cache entries (weakref.finalize callback).
+
+    Tokens are never reused, so the dead graph's entries could never be
+    hit again — this just stops them from accumulating in long-lived
+    sessions that sweep many transient graphs.  The callback holds the
+    session weakly so a finalizer on a long-lived graph does not pin it.
+    """
+    session = session_ref()
+    if session is not None:
+        cache = session._sweep_cache
+        for key in [key for key in cache if key[0] == token]:
+            del cache[key]
 
 
 #: Culprit strings already warned about (the serial fallback warns once per
@@ -360,6 +384,23 @@ class Session:
     read-only facts (one cost model per architecture, per-arch stage
     summaries per graph) so repeated :meth:`run` calls and :meth:`sweep`
     points skip redundant derivation.
+
+    On top of the derivation caches, :meth:`sweep` keeps a **result cache**:
+    the simulator is deterministic and sweep points are functional (timing
+    only, no per-run memory or tensors), so a point's
+    :class:`SweepResult` is fully determined by its trace key — the tuple
+    ``(graph, resolved arch key, scheme, resolved policy assignment)``,
+    where the graph is identified by object (graphs are mutable-by-nobody
+    but not value-hashable) and the policy lowers through
+    :meth:`~repro.cusync.policies.PolicyAssignment.coerce` so equivalent
+    spellings (``"TileSync"``, ``PolicySpec("TileSync")``, a uniform
+    assignment) share one entry.  Duplicate points within one work list
+    simulate once, and repeated sweeps over the same graphs replay cached
+    results — bit-identical apart from the :attr:`SweepResult.cached` flag
+    and the requested policy spelling/graph label.  Disable with
+    ``Session(sweep_cache=False)`` (or per call, ``sweep(..., cache=False)``)
+    for memory-constrained runs; :attr:`sweep_cache_hits` /
+    :attr:`sweep_cache_misses` count replays vs simulations.
     """
 
     def __init__(
@@ -367,6 +408,7 @@ class Session:
         arch: ArchLike = TESLA_V100,
         functional: bool = False,
         cost_model: Optional[CostModel] = None,
+        sweep_cache: bool = True,
     ) -> None:
         #: The session's default architecture, always resolved to a concrete
         #: instance (names and :class:`~repro.gpu.arch.ArchSpec` values are
@@ -399,6 +441,21 @@ class Session:
         #: derived caches are flushed so a run never pairs a new
         #: architecture instance with a stale cost model.
         self._registry_generation = arch_registry_generation()
+        self._policy_registry_generation = policy_registry_generation()
+        #: Sweep-result cache: trace key -> SweepResult (see class docs).
+        self._sweep_cache_enabled = bool(sweep_cache)
+        self._sweep_cache: Dict[Tuple, SweepResult] = {}
+        #: Stable per-graph tokens for the trace keys.  Weakly keyed, and
+        #: tokens are never reused, so a dead graph's stale cache entries
+        #: can never be hit by a new graph that recycles its id().
+        self._graph_tokens: "weakref.WeakKeyDictionary[PipelineGraph, int]" = (
+            weakref.WeakKeyDictionary()
+        )
+        self._graph_token_counter = itertools.count()
+        #: How many sweep points were replayed from / simulated into the
+        #: result cache over the session's lifetime.
+        self.sweep_cache_hits = 0
+        self.sweep_cache_misses = 0
         self._pin_session_cost_model()
 
     def _pin_session_cost_model(self) -> None:
@@ -418,7 +475,59 @@ class Session:
             self._registry_generation = generation
             self._cost_models.clear()
             self._stage_summaries.clear()
+            # Arch keys may resolve differently now; cached sweep results
+            # keyed on the old resolutions must not be replayed.
+            self._sweep_cache.clear()
             self._pin_session_cost_model()
+        # Policy specs also resolve through a mutable registry: a
+        # re-registered family changes what a cached point's policy key
+        # *means*, so registry mutations flush the result cache too.
+        policy_generation = policy_registry_generation()
+        if policy_generation != self._policy_registry_generation:
+            self._policy_registry_generation = policy_generation
+            self._sweep_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Sweep-result cache
+    # ------------------------------------------------------------------
+    def clear_sweep_cache(self) -> None:
+        """Drop every cached sweep result (the derivation caches survive)."""
+        self._sweep_cache.clear()
+
+    @property
+    def sweep_cache_size(self) -> int:
+        return len(self._sweep_cache)
+
+    def _graph_token(self, graph: PipelineGraph) -> int:
+        token = self._graph_tokens.get(graph)
+        if token is None:
+            token = next(self._graph_token_counter)
+            self._graph_tokens[graph] = token
+            # When the graph dies its entries can never be hit again;
+            # evict them so sessions sweeping many transient graphs don't
+            # accumulate unreachable results.
+            weakref.finalize(graph, _evict_graph_entries, weakref.ref(self), token)
+        return token
+
+    def _sweep_cache_key(self, graph: PipelineGraph, point: SweepPoint) -> Optional[Tuple]:
+        """The point's trace key, or ``None`` when it cannot be cached.
+
+        The arch axis keys through :func:`canonical_arch_key` (the same
+        keying as the cost-model cache, whose entries keep unregistered
+        instances alive so an id-based key is never recycled while cache
+        entries exist); the policy axis lowers to a
+        :class:`~repro.cusync.policies.PolicyAssignment` so equivalent
+        spellings share an entry.  Non-cusync schemes have no policy axis.
+        """
+        try:
+            if point.scheme == "cusync" and point.policy is not None:
+                policy_key = PolicyAssignment.coerce(point.policy)
+            else:
+                policy_key = None
+            arch_key = canonical_arch_key(point.arch if point.arch is not None else self.arch)
+        except Exception:
+            return None
+        return (self._graph_token(graph), arch_key, point.scheme, policy_key)
 
     # ------------------------------------------------------------------
     def _arch_entry(self, arch: Optional[ArchLike]) -> Tuple[object, GpuArchitecture]:
@@ -486,6 +595,7 @@ class Session:
         schemes: Sequence[str] = ("cusync",),
         workers: Optional[int] = None,
         mode: Optional[str] = None,
+        cache: Optional[bool] = None,
     ) -> List[SweepResult]:
         """Evaluate every point of a sweep, in point order.
 
@@ -508,6 +618,14 @@ class Session:
         ``workers`` caps the pool size; ``workers=0`` is legacy shorthand
         for ``mode="serial"``.
 
+        ``cache`` overrides the session's sweep-result cache for this call
+        (``None`` keeps the session default): with caching on, points whose
+        trace key — ``(graph, resolved arch, scheme, resolved policy)`` —
+        was already simulated (earlier in this work list or in a previous
+        sweep of this session) are *replayed* instead of re-simulated;
+        replays are bit-identical apart from :attr:`SweepResult.cached` and
+        carry the requested policy spelling / graph label.
+
         Sweeps measure timing only — functional simulation needs per-run
         input tensors and is not part of the point grid; use :meth:`run`
         with ``tensors=...`` for functional checks.
@@ -523,6 +641,70 @@ class Session:
             )
         work = self._normalize_work(graph_or_work, policies, arches, schemes)
         labels = self._graph_labels(work)
+        use_cache = self._sweep_cache_enabled if cache is None else bool(cache)
+        if not use_cache:
+            return self._sweep_evaluate(work, labels, workers, mode)
+        # Flush stale entries before consulting the cache: a registry change
+        # may have re-pointed arch names at different architectures.
+        self._check_registry_generation()
+
+        # Partition the work into cache hits, in-flight duplicates of an
+        # earlier miss in this same work list, and fresh points.  Only the
+        # fresh points are simulated (by whichever mode applies); hits and
+        # duplicates are replayed with the requested policy spelling and
+        # graph label.
+        outputs: List[Optional[SweepResult]] = [None] * len(work)
+        pending: List[Tuple[PipelineGraph, SweepPoint]] = []
+        pending_keys: List[Optional[Tuple]] = []
+        pending_targets: List[int] = []
+        pending_by_key: Dict[Tuple, int] = {}
+        duplicates: List[Tuple[int, int]] = []  # (work position, pending position)
+        for position, (graph, point) in enumerate(work):
+            key = self._sweep_cache_key(graph, point)
+            if key is not None:
+                hit = self._sweep_cache.get(key)
+                if hit is not None:
+                    self.sweep_cache_hits += 1
+                    outputs[position] = replace(
+                        hit,
+                        policy=point.policy,
+                        graph_label=labels[id(graph)],
+                        cached=True,
+                    )
+                    continue
+                in_flight = pending_by_key.get(key)
+                if in_flight is not None:
+                    self.sweep_cache_hits += 1
+                    duplicates.append((position, in_flight))
+                    continue
+                pending_by_key[key] = len(pending)
+            self.sweep_cache_misses += 1
+            pending.append((graph, point))
+            pending_keys.append(key)
+            pending_targets.append(position)
+        fresh = self._sweep_evaluate(pending, labels, workers, mode) if pending else []
+        for target, key, result in zip(pending_targets, pending_keys, fresh):
+            outputs[target] = result
+            if key is not None:
+                self._sweep_cache[key] = result
+        for position, pending_position in duplicates:
+            graph, point = work[position]
+            outputs[position] = replace(
+                fresh[pending_position],
+                policy=point.policy,
+                graph_label=labels[id(graph)],
+                cached=True,
+            )
+        return outputs
+
+    def _sweep_evaluate(
+        self,
+        work: Sequence[Tuple[PipelineGraph, SweepPoint]],
+        labels: Dict[int, str],
+        workers: Optional[int],
+        mode: Optional[str],
+    ) -> List[SweepResult]:
+        """Simulate every point of ``work`` under the selected mode."""
         if workers == 0 or mode == "serial" or len(work) <= 1:
             return self._sweep_serial(work, labels)
         if mode == "thread":

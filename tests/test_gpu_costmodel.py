@@ -84,3 +84,15 @@ class TestJitter:
     def test_different_blocks_differ(self, model):
         factors = {model.block_duration_factor("kernel", index) for index in range(20)}
         assert len(factors) > 1
+
+    def test_vectorized_factors_bit_identical_to_scalar(self, model):
+        """The numpy splitmix64 lane must match the scalar path exactly."""
+        for name in ("kernel", "mlp_gemm1", "synthetic_consumer"):
+            batch = model.block_duration_factors(name, 257)
+            scalar = [model.block_duration_factor(name, index) for index in range(257)]
+            assert batch == scalar
+
+    def test_vectorized_factors_zero_jitter_and_empty(self):
+        model = CostModel(arch=TESLA_V100, duration_jitter=0.0)
+        assert model.block_duration_factors("kernel", 3) == [1.0, 1.0, 1.0]
+        assert CostModel(arch=TESLA_V100).block_duration_factors("kernel", 0) == []

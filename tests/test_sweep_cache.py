@@ -1,0 +1,251 @@
+"""Tests for the session-level sweep-result cache.
+
+The simulator is deterministic and sweep points are timing-only, so a
+point's :class:`~repro.pipeline.SweepResult` is a pure function of its
+trace key ``(graph, resolved arch, scheme, resolved policy assignment)``.
+:class:`~repro.pipeline.Session` caches results under that key; these
+tests pin the contract:
+
+* replays are bit-identical to fresh simulations (equality ignores the
+  diagnostic ``cached`` flag — every value field matches);
+* duplicate points inside one work list simulate once;
+* equivalent policy spellings share an entry, different graphs never do;
+* ``sweep_cache=False`` (and the per-call ``cache=False``) opt out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cusync.policies import PolicyAssignment, PolicySpec
+from repro.models.config import TransformerConfig
+from repro.models.mlp import GptMlp
+from repro.pipeline import Session, SweepPoint, sweep_archs
+
+TINY = TransformerConfig(name="tiny-cache", hidden=256, layers=2, tensor_parallel=8)
+
+
+@pytest.fixture()
+def workload():
+    return GptMlp(config=TINY, batch_seq=96)
+
+
+@pytest.fixture()
+def graph(workload):
+    return workload.to_graph()
+
+
+class TestReplayIdentity:
+    def test_second_sweep_replays_bit_identically(self, graph):
+        session = Session()
+        work = sweep_archs(graph, ("V100", "A100"), policies=("TileSync", "RowSync"))
+        cold = session.sweep(work, mode="serial")
+        assert session.sweep_cache_hits == 0
+        assert session.sweep_cache_misses == len(work)
+        assert all(not result.cached for result in cold)
+
+        warm = session.sweep(work, mode="serial")
+        assert session.sweep_cache_hits == len(work)
+        assert all(result.cached for result in warm)
+        # Equality ignores the cached flag; check the value fields exactly.
+        assert warm == cold
+        for fresh, replayed in zip(cold, warm):
+            assert replayed.total_time_us == fresh.total_time_us
+            assert replayed.total_wait_time_us == fresh.total_wait_time_us
+            assert replayed.kernel_durations_us == fresh.kernel_durations_us
+            assert replayed.arch_name == fresh.arch_name
+
+    def test_duplicates_within_one_work_list_simulate_once(self, graph, workload):
+        session = Session(arch=workload.arch)
+        point = SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
+        results = session.sweep([(graph, point)] * 4, mode="serial")
+        assert session.sweep_cache_misses == 1
+        assert session.sweep_cache_hits == 3
+        assert [result.cached for result in results] == [False, True, True, True]
+        assert results[0] == results[1] == results[2] == results[3]
+
+    def test_equivalent_policy_spellings_share_an_entry(self, graph, workload):
+        session = Session(arch=workload.arch)
+        spellings = [
+            "TileSync",
+            PolicySpec("TileSync"),
+            PolicyAssignment(default="TileSync"),
+        ]
+        results = session.sweep(
+            [
+                (graph, SweepPoint(scheme="cusync", policy=policy, arch=workload.arch))
+                for policy in spellings
+            ],
+            mode="serial",
+        )
+        assert session.sweep_cache_misses == 1
+        assert session.sweep_cache_hits == 2
+        # The replay carries the *requested* spelling, not the cached one's.
+        assert [result.policy for result in results] == spellings
+        assert results[0].total_time_us == results[1].total_time_us == results[2].total_time_us
+
+    def test_cached_flag_excluded_from_equality(self, graph, workload):
+        session = Session(arch=workload.arch)
+        point = SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
+        first = session.sweep([(graph, point)], mode="serial")[0]
+        second = session.sweep([(graph, point)], mode="serial")[0]
+        assert second.cached and not first.cached
+        assert second == first
+        assert replace(second, cached=False) == first
+
+
+class TestCacheKeying:
+    def test_distinct_graph_objects_never_share_entries(self, workload):
+        """Two structurally identical graphs have distinct kernels; their
+        points must be simulated independently (results still agree because
+        the simulator is deterministic)."""
+        session = Session(arch=workload.arch)
+        graph_a = workload.to_graph()
+        graph_b = workload.to_graph()
+        point = SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
+        session.sweep([(graph_a, point)], mode="serial")
+        session.sweep([(graph_b, point)], mode="serial")
+        assert session.sweep_cache_hits == 0
+        assert session.sweep_cache_misses == 2
+
+    def test_scheme_and_arch_are_part_of_the_key(self, graph, workload):
+        session = Session(arch=workload.arch)
+        work = [
+            (graph, SweepPoint(scheme="cusync", policy="TileSync", arch="V100")),
+            (graph, SweepPoint(scheme="streamsync", policy=None, arch="V100")),
+            (graph, SweepPoint(scheme="cusync", policy="TileSync", arch="A100")),
+        ]
+        session.sweep(work, mode="serial")
+        assert session.sweep_cache_misses == 3
+        assert session.sweep_cache_hits == 0
+
+    def test_arch_name_and_spec_share_an_entry(self, graph, workload):
+        from repro.gpu.arch import ArchSpec
+
+        session = Session(arch=workload.arch)
+        work = [
+            (graph, SweepPoint(scheme="cusync", policy="TileSync", arch="V100")),
+            (graph, SweepPoint(scheme="cusync", policy="TileSync", arch=ArchSpec.coerce("V100"))),
+        ]
+        results = session.sweep(work, mode="serial")
+        assert session.sweep_cache_misses == 1
+        assert session.sweep_cache_hits == 1
+        assert results[0] == results[1]
+
+
+class TestOptOut:
+    def test_session_opt_out_disables_reuse(self, graph, workload):
+        session = Session(arch=workload.arch, sweep_cache=False)
+        point = SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
+        first = session.sweep([(graph, point)] * 2, mode="serial")
+        second = session.sweep([(graph, point)], mode="serial")
+        assert session.sweep_cache_hits == 0
+        assert session.sweep_cache_misses == 0
+        assert session.sweep_cache_size == 0
+        assert not any(result.cached for result in first + second)
+        # Determinism still makes the values identical — just re-simulated.
+        assert first[0] == first[1] == second[0]
+
+    def test_per_call_opt_out_and_opt_in(self, graph, workload):
+        session = Session(arch=workload.arch)
+        point = SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
+        session.sweep([(graph, point)], mode="serial", cache=False)
+        assert session.sweep_cache_size == 0
+        session.sweep([(graph, point)], mode="serial")
+        assert session.sweep_cache_size == 1
+
+        disabled = Session(arch=workload.arch, sweep_cache=False)
+        disabled.sweep([(graph, point)], mode="serial", cache=True)
+        assert disabled.sweep_cache_size == 1
+
+    def test_dead_graph_entries_are_evicted(self, workload):
+        """A garbage-collected graph's entries can never be hit again, so
+        they must not accumulate in long-lived sessions."""
+        import gc
+
+        session = Session(arch=workload.arch)
+        point = SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
+        for _ in range(3):
+            transient = workload.to_graph()
+            session.sweep([(transient, point)], mode="serial")
+            del transient
+            gc.collect()
+        assert session.sweep_cache_size == 0
+        # A graph that stays alive keeps its entry.
+        kept = workload.to_graph()
+        session.sweep([(kept, point)], mode="serial")
+        gc.collect()
+        assert session.sweep_cache_size == 1
+
+    def test_clear_sweep_cache(self, graph, workload):
+        session = Session(arch=workload.arch)
+        point = SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
+        session.sweep([(graph, point)], mode="serial")
+        assert session.sweep_cache_size == 1
+        session.clear_sweep_cache()
+        assert session.sweep_cache_size == 0
+        session.sweep([(graph, point)], mode="serial")
+        assert session.sweep_cache_misses == 2
+
+
+class TestModesAndRegistry:
+    def test_thread_mode_dedups_and_replays(self, graph, workload):
+        session = Session(arch=workload.arch)
+        work = sweep_archs(graph, ("V100", "A100"), policies=("TileSync",))
+        cold = session.sweep(work, mode="thread")
+        warm = session.sweep(work, mode="thread")
+        assert warm == cold
+        assert all(result.cached for result in warm)
+
+    def test_registry_change_flushes_the_cache(self, graph, workload):
+        from repro.gpu.arch import TESLA_V100, register_arch, unregister_arch
+
+        session = Session(arch=workload.arch)
+        point = SweepPoint(scheme="cusync", policy="TileSync", arch="V100")
+        session.sweep([(graph, point)], mode="serial")
+        assert session.sweep_cache_size == 1
+        register_arch("cache-flush-probe", TESLA_V100)
+        try:
+            session.sweep([(graph, point)], mode="serial")
+            # The registry generation changed, so the first sweep's entry
+            # was flushed and the point re-simulated.
+            assert session.sweep_cache_misses == 2
+        finally:
+            unregister_arch("cache-flush-probe")
+
+    def test_policy_registry_change_flushes_the_cache(self, graph, workload):
+        """A re-registered family changes what a cached policy key *means*:
+        the stale result must not be replayed."""
+        from repro.cusync.policies import (
+            RowSync,
+            TileSync,
+            register_policy,
+            unregister_policy,
+        )
+
+        session = Session(arch=workload.arch)
+        point = SweepPoint(scheme="cusync", policy="FlushProbeSync", arch="V100")
+        register_policy("FlushProbeSync", lambda params, ctx: TileSync())
+        try:
+            session.sweep([(graph, point)], mode="serial")
+            assert session.sweep_cache_size == 1
+            unregister_policy("FlushProbeSync")
+            register_policy("FlushProbeSync", lambda params, ctx: RowSync())
+            row_like = session.sweep([(graph, point)], mode="serial")[0]
+            # The registry mutation flushed the cache: the point was
+            # re-simulated (a stale replay would report cached=True and
+            # keep the TileSync-resolved result).
+            assert session.sweep_cache_misses == 2
+            assert not row_like.cached
+            # The family now resolves to RowSync; the fresh simulation must
+            # agree with an explicit RowSync point.
+            reference = session.sweep(
+                [(graph, SweepPoint(scheme="cusync", policy="RowSync", arch="V100"))],
+                mode="serial",
+            )[0]
+            assert row_like.total_time_us == reference.total_time_us
+            assert row_like.kernel_durations_us == reference.kernel_durations_us
+        finally:
+            unregister_policy("FlushProbeSync")

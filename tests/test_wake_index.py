@@ -1,0 +1,366 @@
+"""Differential stress tests for the threshold-indexed wake path.
+
+The simulator's default wake strategy indexes blocked waiters in per-key
+min-heaps of value thresholds (O(log n) per post); the pre-existing
+brute-force behaviour — re-evaluating every registered waiter's full wait
+set on each post — survives as ``wake_strategy="rescan"``.  Both must be
+*bit-identical*: every block lands on the same SM at the same time, waits
+for the same duration, and the trace rows come out in the same order.
+
+The Hypothesis test drives randomized post/wait interleavings (random
+grids, occupancies, stream priorities, posts with increments > 1, waits
+with multi-key and duplicate-key conditions, unsatisfiable waits that
+deadlock) through both strategies and asserts identical outcomes — the
+traces when the pipeline completes, the deadlocked block set when it does
+not.  The targeted tests pin the corner cases the index must get right.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.dim3 import Dim3
+from repro.errors import DeadlockError
+from repro.gpu.kernel import SemPost, SemWait, simple_kernel
+from repro.gpu.memory import GlobalMemory
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.stream import Stream
+
+ARRAY = "stress_sems"
+ARRAY_B = "stress_sems_b"
+
+
+def _run(
+    strategy: str,
+    kernel_specs: List[dict],
+    array_sizes: Dict[str, int],
+) -> Tuple[Optional[dict], Optional[List[str]]]:
+    """Simulate one pipeline; return (trace payload, deadlocked blocks)."""
+    memory = GlobalMemory()
+    for name, size in array_sizes.items():
+        memory.alloc_semaphores(name, size)
+    launches = []
+    for spec in kernel_specs:
+        posts = spec["posts"]
+        waits = spec["waits"]
+        launches.append(
+            simple_kernel(
+                name=spec["name"],
+                grid=spec["grid"],
+                block_duration_us=spec["duration"],
+                occupancy=spec["occupancy"],
+                stream=spec["stream"],
+                posts_per_block=(lambda tile, p=posts: p.get((tile.x, tile.y, tile.z), []))
+                if posts
+                else None,
+                waits_per_block=(lambda tile, w=waits: w.get((tile.x, tile.y, tile.z), []))
+                if waits
+                else None,
+            )
+        )
+    simulator = GpuSimulator(memory=memory, wake_strategy=strategy)
+    try:
+        result = simulator.run(launches)
+    except DeadlockError as error:
+        return None, list(error.waiting_blocks)
+    trace = result.trace
+    payload = {
+        "total_time_us": result.total_time_us,
+        "blocks": [
+            (
+                record.kernel,
+                (record.tile.x, record.tile.y, record.tile.z),
+                record.dispatch_index,
+                record.sm_id,
+                record.dispatch_time_us,
+                record.end_time_us,
+                record.wait_time_us,
+                record.work_time_us,
+            )
+            for record in trace.blocks
+        ],
+        "kernels": {
+            name: (
+                stats.start_time_us,
+                stats.end_time_us,
+                stats.total_wait_time_us,
+                stats.total_work_time_us,
+            )
+            for name, stats in sorted(trace.kernels.items())
+        },
+        "semaphores": memory.snapshot_semaphores(),
+    }
+    return payload, None
+
+
+def _assert_strategies_agree(kernel_specs: List[dict], array_sizes: Dict[str, int]) -> None:
+    threshold = _run("threshold", kernel_specs, array_sizes)
+    rescan = _run("rescan", kernel_specs, array_sizes)
+    assert threshold == rescan, (
+        "threshold-indexed wake diverged from the brute-force rescanner\n"
+        f"threshold: {threshold}\nrescan:    {rescan}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Hypothesis: randomized post/wait interleavings
+# ----------------------------------------------------------------------
+@st.composite
+def _pipelines(draw):
+    size_a = draw(st.integers(min_value=2, max_value=6))
+    size_b = draw(st.integers(min_value=2, max_value=4))
+    array_sizes = {ARRAY: size_a, ARRAY_B: size_b}
+
+    def tiles_of(grid: Dim3) -> List[Tuple[int, int, int]]:
+        return [
+            (x, y, z)
+            for z in range(grid.z)
+            for y in range(grid.y)
+            for x in range(grid.x)
+        ]
+
+    num_kernels = draw(st.integers(min_value=2, max_value=3))
+    specs = []
+    for index in range(num_kernels):
+        grid = Dim3(
+            draw(st.integers(min_value=1, max_value=4)),
+            draw(st.integers(min_value=1, max_value=3)),
+            1,
+        )
+        # Producers early in launch order, waiters later; every kernel may
+        # both post and wait so chained wakes and multi-key blocking occur.
+        posts: Dict[Tuple[int, int, int], List[SemPost]] = {}
+        waits: Dict[Tuple[int, int, int], List[SemWait]] = {}
+        for tile in tiles_of(grid):
+            tile_posts = draw(
+                st.lists(
+                    st.tuples(
+                        st.sampled_from([ARRAY, ARRAY_B]),
+                        st.integers(min_value=0, max_value=size_a - 1),
+                        st.integers(min_value=1, max_value=3),
+                    ),
+                    max_size=2,
+                )
+            )
+            posts[tile] = [
+                SemPost(array, min(sem, array_sizes[array] - 1), increment)
+                for array, sem, increment in tile_posts
+            ]
+            if index > 0:
+                tile_waits = draw(
+                    st.lists(
+                        st.tuples(
+                            st.sampled_from([ARRAY, ARRAY_B]),
+                            st.integers(min_value=0, max_value=size_a - 1),
+                            st.integers(min_value=1, max_value=4),
+                        ),
+                        max_size=3,
+                    )
+                )
+                waits[tile] = [
+                    SemWait(array, min(sem, array_sizes[array] - 1), required)
+                    for array, sem, required in tile_waits
+                ]
+        specs.append(
+            {
+                "name": f"k{index}",
+                "grid": grid,
+                "duration": draw(st.sampled_from([1.0, 2.0, 3.5])),
+                "occupancy": draw(st.integers(min_value=1, max_value=2)),
+                "stream": Stream(
+                    stream_id=draw(st.integers(min_value=0, max_value=1)),
+                    priority=draw(st.integers(min_value=0, max_value=1)),
+                    name=f"s{index}",
+                ),
+                "posts": posts,
+                "waits": waits,
+            }
+        )
+    return specs, array_sizes
+
+
+class TestRandomizedInterleavings:
+    @settings(max_examples=60, deadline=None)
+    @given(_pipelines())
+    def test_threshold_index_matches_rescan(self, pipeline):
+        kernel_specs, array_sizes = pipeline
+        _assert_strategies_agree(kernel_specs, array_sizes)
+
+
+# ----------------------------------------------------------------------
+# Targeted corner cases
+# ----------------------------------------------------------------------
+def _spec(name, grid, duration, occupancy, stream, posts=None, waits=None) -> dict:
+    return {
+        "name": name,
+        "grid": grid,
+        "duration": duration,
+        "occupancy": occupancy,
+        "stream": stream,
+        "posts": posts or {},
+        "waits": waits or {},
+    }
+
+
+PRODUCER_STREAM = Stream(stream_id=0, priority=0, name="producer")
+CONSUMER_STREAM = Stream(stream_id=1, priority=1, name="consumer")
+
+
+class TestThresholdCornerCases:
+    def test_one_post_crosses_several_thresholds(self):
+        """An increment > 1 must pop every crossed threshold at once."""
+        specs = [
+            _spec(
+                "producer",
+                Dim3(1, 1, 1),
+                2.0,
+                1,
+                PRODUCER_STREAM,
+                posts={(0, 0, 0): [SemPost(ARRAY, 0, 3)]},
+            ),
+            _spec(
+                "consumers",
+                Dim3(3, 1, 1),
+                1.0,
+                2,
+                CONSUMER_STREAM,
+                waits={
+                    (0, 0, 0): [SemWait(ARRAY, 0, 1)],
+                    (1, 0, 0): [SemWait(ARRAY, 0, 2)],
+                    (2, 0, 0): [SemWait(ARRAY, 0, 3)],
+                },
+            ),
+        ]
+        _assert_strategies_agree(specs, {ARRAY: 1, ARRAY_B: 1})
+
+    def test_block_waiting_on_two_arrays_resumes_on_last(self):
+        """The unsatisfied-wait counter reaches zero only when every key posts."""
+        specs = [
+            _spec(
+                "producer",
+                Dim3(2, 1, 1),
+                2.0,
+                1,
+                PRODUCER_STREAM,
+                posts={
+                    (0, 0, 0): [SemPost(ARRAY, 0, 1)],
+                    (1, 0, 0): [SemPost(ARRAY_B, 0, 1)],
+                },
+            ),
+            _spec(
+                "consumer",
+                Dim3(1, 1, 1),
+                1.0,
+                1,
+                CONSUMER_STREAM,
+                waits={(0, 0, 0): [SemWait(ARRAY, 0, 1), SemWait(ARRAY_B, 0, 1)]},
+            ),
+        ]
+        _assert_strategies_agree(specs, {ARRAY: 1, ARRAY_B: 1})
+
+    def test_duplicate_key_waits_use_the_max_threshold(self):
+        """Two waits on one key register once, at the larger required value."""
+        specs = [
+            _spec(
+                "producer",
+                Dim3(3, 1, 1),
+                2.0,
+                1,
+                PRODUCER_STREAM,
+                posts={(x, 0, 0): [SemPost(ARRAY, 0, 1)] for x in range(3)},
+            ),
+            _spec(
+                "consumer",
+                Dim3(1, 1, 1),
+                1.0,
+                1,
+                CONSUMER_STREAM,
+                waits={(0, 0, 0): [SemWait(ARRAY, 0, 1), SemWait(ARRAY, 0, 3)]},
+            ),
+        ]
+        _assert_strategies_agree(specs, {ARRAY: 1, ARRAY_B: 1})
+
+    def test_registration_order_breaks_same_instant_ties(self):
+        """Blocks woken by one post resume in registration order."""
+        specs = [
+            _spec(
+                "producer",
+                Dim3(1, 1, 1),
+                4.0,
+                1,
+                PRODUCER_STREAM,
+                posts={(0, 0, 0): [SemPost(ARRAY, 0, 1)]},
+            ),
+            _spec(
+                "consumers",
+                Dim3(4, 1, 1),
+                1.0,
+                4,
+                CONSUMER_STREAM,
+                waits={(x, 0, 0): [SemWait(ARRAY, 0, 1)] for x in range(4)},
+            ),
+        ]
+        _assert_strategies_agree(specs, {ARRAY: 1, ARRAY_B: 1})
+
+    def test_unsatisfiable_wait_deadlocks_identically(self):
+        specs = [
+            _spec(
+                "producer",
+                Dim3(1, 1, 1),
+                2.0,
+                1,
+                PRODUCER_STREAM,
+                posts={(0, 0, 0): [SemPost(ARRAY, 0, 1)]},
+            ),
+            _spec(
+                "consumer",
+                Dim3(2, 1, 1),
+                1.0,
+                1,
+                CONSUMER_STREAM,
+                waits={
+                    (0, 0, 0): [SemWait(ARRAY, 0, 5)],
+                    (1, 0, 0): [SemWait(ARRAY_B, 0, 1)],
+                },
+            ),
+        ]
+        threshold = _run("threshold", specs, {ARRAY: 1, ARRAY_B: 1})
+        rescan = _run("rescan", specs, {ARRAY: 1, ARRAY_B: 1})
+        assert threshold == rescan
+        assert threshold[0] is None and threshold[1], "expected a deadlock"
+
+    def test_unknown_strategy_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            GpuSimulator(wake_strategy="psychic")
+
+
+class TestSmHeapCompaction:
+    def test_lazy_sm_heap_stays_bounded(self):
+        """Releases push one stale entry each; compaction must cap growth."""
+        from repro.gpu import simulator as simulator_module
+
+        memory = GlobalMemory()
+        memory.alloc_semaphores(ARRAY, 1)
+        launch = simple_kernel(
+            name="churn",
+            grid=Dim3(60, 40, 1),  # 2400 blocks, many waves of take/release
+            block_duration_us=1.0,
+            occupancy=2,
+            stream=PRODUCER_STREAM,
+        )
+        sim = GpuSimulator(memory=memory)
+        result = sim.run([launch])
+        assert len(result.trace.blocks) == 2400
+        limit = max(
+            simulator_module._SM_HEAP_COMPACT_FACTOR * sim.arch.num_sms,
+            simulator_module._SM_HEAP_COMPACT_MIN,
+        )
+        # The peak may overshoot the limit by at most one coalesced wave of
+        # releases (compaction runs on the release path), never monotonically.
+        per_wave = sim.arch.num_sms * 2
+        assert sim.sm_heap_peak <= limit + per_wave + 1
