@@ -32,6 +32,12 @@ from repro.errors import (
     ReproError,
     SimulationError,
     DeadlockError,
+    LivelockError,
+    SemaphoreWaiter,
+    SweepPointError,
+    FaultInjectionError,
+    InjectedCrashError,
+    InjectedFaultError,
     SynchronizationError,
     GraphValidationError,
     DataRaceError,
@@ -47,6 +53,12 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "DeadlockError",
+    "LivelockError",
+    "SemaphoreWaiter",
+    "SweepPointError",
+    "FaultInjectionError",
+    "InjectedCrashError",
+    "InjectedFaultError",
     "SynchronizationError",
     "GraphValidationError",
     "DataRaceError",

@@ -82,7 +82,12 @@ from operator import itemgetter
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.common.dim3 import Dim3
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import (
+    DeadlockError,
+    LivelockError,
+    SemaphoreWaiter,
+    SimulationError,
+)
 from repro.gpu.arch import GpuArchitecture, TESLA_V100
 from repro.gpu.costmodel import CostModel
 from repro.gpu.kernel import (
@@ -98,6 +103,7 @@ from repro.gpu.trace import (
     analytic_utilization,
     wave_count,
 )
+from repro.testing.faults import current_post_fault
 
 _EPSILON = 1e-9
 
@@ -113,6 +119,10 @@ _EV_EMPTY_BLOCK = 2
 #: stale entries outnumber them and the pops would mostly skip garbage.
 _SM_HEAP_COMPACT_FACTOR = 2
 _SM_HEAP_COMPACT_MIN = 64
+
+#: How many blocked-threshold lines the deadlock message embeds; the full
+#: list is always available on :attr:`~repro.errors.DeadlockError.waiters`.
+_DEADLOCK_REPORT_WAITERS = 16
 
 _entry_order = itemgetter(1)
 _entry_key = itemgetter(0)
@@ -207,6 +217,13 @@ class GpuSimulator:
         differential stress tests.  Both produce bit-identical traces; the
         threshold index requires the CuSync invariant that semaphore values
         are monotone non-decreasing within a run.
+    max_events / max_sim_time_us:
+        Livelock watchdogs.  A run that processes more than ``max_events``
+        events, or whose simulated clock passes ``max_sim_time_us``
+        (``None`` disables the time guard), raises a structured
+        :class:`~repro.errors.LivelockError` recording how far the run got
+        — a policy bug that posts in a loop fails fast with diagnostics
+        instead of stalling the host.
     """
 
     def __init__(
@@ -217,11 +234,18 @@ class GpuSimulator:
         functional: bool = False,
         tracked_tensors: Optional[Set[str]] = None,
         max_events: int = 50_000_000,
+        max_sim_time_us: Optional[float] = None,
         wake_strategy: str = "threshold",
     ) -> None:
         if wake_strategy not in ("threshold", "rescan"):
             raise SimulationError(
                 f"unknown wake strategy {wake_strategy!r}; choose 'threshold' or 'rescan'"
+            )
+        if max_events <= 0:
+            raise SimulationError(f"max_events must be positive, got {max_events}")
+        if max_sim_time_us is not None and max_sim_time_us <= 0:
+            raise SimulationError(
+                f"max_sim_time_us must be positive, got {max_sim_time_us}"
             )
         self.arch = arch
         self.memory = memory if memory is not None else GlobalMemory()
@@ -229,6 +253,7 @@ class GpuSimulator:
         self.functional = functional
         self.tracked_tensors = set(tracked_tensors) if tracked_tensors is not None else None
         self.max_events = max_events
+        self.max_sim_time_us = max_sim_time_us
         self.wake_strategy = wake_strategy
         #: Peak size the lazy SM heap reached in the last run (diagnostic
         #: for the stale-entry compaction; bounded by the compaction limit
@@ -248,6 +273,10 @@ class GpuSimulator:
         tracked_tensors = self.tracked_tensors
         rescan = self.wake_strategy == "rescan"
         cost_model = self.cost_model
+        # Chaos-test hook: a drop/dup semaphore-post fault armed for this
+        # thread's run, or None — the fault-free path costs one extra
+        # ``is None`` check per posting segment and is otherwise untouched.
+        post_fault = current_post_fault()
         states = self._prepare_launch_states(launches)
         trace = self._prepare_trace(states)
         for state in states:
@@ -654,18 +683,30 @@ class GpuSimulator:
             posts = segment.posts
             if posts:
                 atomics += len(posts)
-                for post in posts:
-                    # Inlined apply_post: this is the producer hot path.
-                    array = post.array
-                    values = sem_values_get(array)
-                    if values is None:
-                        _missing_array(array)
-                    index = post.index
-                    if index < 0 or index >= len(values):
-                        _raise_semaphore_index_error(array, index, len(values))
-                    value = values[index] + post.increment
-                    values[index] = value
-                    wake((array, index), value, time)
+                if post_fault is None:
+                    for post in posts:
+                        # Inlined apply_post: this is the producer hot path.
+                        array = post.array
+                        values = sem_values_get(array)
+                        if values is None:
+                            _missing_array(array)
+                        index = post.index
+                        if index < 0 or index >= len(values):
+                            _raise_semaphore_index_error(array, index, len(values))
+                        value = values[index] + post.increment
+                        values[index] = value
+                        wake((array, index), value, time)
+                else:
+                    # Fault-injection path: the armed fault may drop or
+                    # duplicate exactly one post of the run.
+                    for post in posts:
+                        action = post_fault.next_action()
+                        if action == "drop":
+                            continue
+                        apply_post(post, time)
+                        if action == "dup":
+                            atomics += 1
+                            apply_post(post, time)
 
             segment_index += 1
             if segment_index < len(segments):
@@ -768,19 +809,34 @@ class GpuSimulator:
         # Main event loop
         # --------------------------------------------------------------
         max_events = self.max_events
+        max_sim_time_us = self.max_sim_time_us
+
+        def _livelock(guard: str, limit: float) -> LivelockError:
+            return LivelockError(
+                f"simulation exceeded {guard}={limit:g} "
+                f"({processed} events processed, simulated time {now:.3f} us, "
+                f"{completed_blocks_total}/{total_blocks} blocks completed); "
+                "likely a livelock in the synchronization policy",
+                guard=guard,
+                events_processed=processed,
+                simulated_time_us=now,
+                completed_blocks=completed_blocks_total,
+                total_blocks=total_blocks,
+                limit=limit,
+            )
+
         try:
             while events:
                 processed += 1
                 if processed > max_events:
-                    raise SimulationError(
-                        f"simulation exceeded {max_events} events; "
-                        "likely a livelock in the synchronization policy"
-                    )
+                    raise _livelock("max_events", max_events)
                 time, _, kind, payload = heappop(events)
                 if time + _EPSILON < now:
                     raise SimulationError("event queue produced a time in the past")
                 if time > now:
                     now = time
+                    if max_sim_time_us is not None and now > max_sim_time_us:
+                        raise _livelock("max_sim_time_us", max_sim_time_us)
 
                 if kind == _EV_SEGMENT_DONE:
                     complete_segment(payload, now)
@@ -791,7 +847,13 @@ class GpuSimulator:
 
                 # Coalesce events at the same timestamp before dispatching so
                 # a whole wave frees its slots before the next wave is placed.
+                # Coalesced events count against the watchdog too: a livelock
+                # that spins at one timestamp (e.g. a zero-delay wake loop)
+                # must still trip ``max_events``.
                 while events and -_EPSILON <= events[0][0] - now <= _EPSILON:
+                    processed += 1
+                    if processed > max_events:
+                        raise _livelock("max_events", max_events)
                     _, _, kind, payload = heappop(events)
                     if kind == _EV_SEGMENT_DONE:
                         complete_segment(payload, now)
@@ -804,17 +866,41 @@ class GpuSimulator:
                     dispatch(now)
 
                 if not events and completed_blocks_total < total_blocks:
-                    stuck = [
-                        block_name(block_id)
+                    stuck_ids = [
+                        block_id
                         for block_id in range(next_block_id)
                         if blk_state[block_id] is not None
                     ]
-                    raise DeadlockError(
+                    stuck = [block_name(block_id) for block_id in stuck_ids]
+                    waiter_records, cycle = self._deadlock_forensics(
+                        stuck_ids,
+                        block_name,
+                        blk_segments,
+                        blk_segment_index,
+                        blk_waiting_since,
+                        sem_values_get,
+                    )
+                    message = (
                         "simulated GPU deadlocked: "
                         f"{total_blocks - completed_blocks_total} blocks cannot make progress "
                         f"({len(stuck)} resident blocks are busy-waiting). "
-                        "This is the failure the wait-kernel mechanism prevents (Section III-B).",
+                        "This is the failure the wait-kernel mechanism prevents (Section III-B)."
+                    )
+                    if waiter_records:
+                        shown = waiter_records[:_DEADLOCK_REPORT_WAITERS]
+                        message += " Blocked thresholds:\n  " + "\n  ".join(
+                            waiter.describe() for waiter in shown
+                        )
+                        hidden = len(waiter_records) - len(shown)
+                        if hidden:
+                            message += f"\n  ... and {hidden} more (see .waiters)"
+                    if cycle:
+                        message += "\nDependency cycle: " + " -> ".join(cycle + [cycle[0]])
+                    raise DeadlockError(
+                        message,
                         waiting_blocks=stuck,
+                        waiters=waiter_records,
+                        cycle=cycle,
                     )
         finally:
             # Flush the run-local statistics into the memory object (the
@@ -844,6 +930,115 @@ class GpuSimulator:
             memory=self.memory,
             host_issue_time_us=host_issue_time,
         )
+
+    # ------------------------------------------------------------------
+    # Deadlock forensics (cold path: runs once, after the run is dead)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _deadlock_forensics(
+        stuck_ids,
+        block_name,
+        blk_segments,
+        blk_segment_index,
+        blk_waiting_since,
+        sem_values_get,
+    ) -> Tuple[List[SemaphoreWaiter], Optional[List[str]]]:
+        """Build the wait-graph report for a detected deadlock.
+
+        Returns one :class:`~repro.errors.SemaphoreWaiter` per blocked
+        threshold (with the semaphore's observed value and nearest-miss
+        delta) and, when the blocked blocks wait on posts only *other
+        blocked blocks* could still perform, the dependency cycle as a list
+        of block names.  Both are deterministic: blocks are visited in
+        dispatch order and wait keys in first-occurrence order, so the two
+        wake strategies report identical forensics.
+        """
+        waiter_records: List[SemaphoreWaiter] = []
+        blocked_keys: Dict[int, List[Tuple[str, int]]] = {}
+        for block_id in stuck_ids:
+            if blk_waiting_since[block_id] is None:
+                continue  # resident but not parked on a wait (defensive)
+            segment = blk_segments[block_id][blk_segment_index[block_id]]
+            per_key: Dict[Tuple[str, int], int] = {}
+            for wait in segment.waits:
+                values = sem_values_get(wait.array)
+                if values is None or not (0 <= wait.index < len(values)):
+                    continue
+                if values[wait.index] < wait.required:
+                    key = (wait.array, wait.index)
+                    previous = per_key.get(key)
+                    if previous is None or wait.required > previous:
+                        per_key[key] = wait.required
+            name = block_name(block_id)
+            for (array, index), required in per_key.items():
+                waiter_records.append(
+                    SemaphoreWaiter(
+                        block=name,
+                        array=array,
+                        index=index,
+                        required=required,
+                        observed=sem_values_get(array)[index],
+                    )
+                )
+            blocked_keys[block_id] = list(per_key)
+
+        # Wait-for edges: a blocked block depends on every other blocked
+        # block whose *remaining* segments contain a post to one of its
+        # blocked keys — the only writers that could still appear.
+        posters: Dict[Tuple[str, int], List[int]] = {}
+        for block_id in stuck_ids:
+            segments = blk_segments[block_id]
+            for segment in segments[blk_segment_index[block_id]:]:
+                for post in segment.posts:
+                    posters.setdefault((post.array, post.index), []).append(block_id)
+        edges: Dict[int, List[int]] = {}
+        for block_id, keys in blocked_keys.items():
+            targets: List[int] = []
+            for key in keys:
+                for poster in posters.get(key, ()):
+                    if poster != block_id and poster in blocked_keys:
+                        targets.append(poster)
+            edges[block_id] = targets
+
+        cycle_ids = GpuSimulator._find_wait_cycle(edges)
+        cycle = [block_name(block_id) for block_id in cycle_ids] if cycle_ids else None
+        return waiter_records, cycle
+
+    @staticmethod
+    def _find_wait_cycle(edges: Dict[int, List[int]]) -> Optional[List[int]]:
+        """First dependency cycle of the wait-for graph, via iterative DFS."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {node: WHITE for node in edges}
+        parent: Dict[int, int] = {}
+        for start in edges:
+            if color[start] != WHITE:
+                continue
+            color[start] = GRAY
+            stack = [(start, iter(edges[start]))]
+            while stack:
+                node, successors = stack[-1]
+                advanced = False
+                for target in successors:
+                    if target not in color:
+                        continue
+                    if color[target] == WHITE:
+                        color[target] = GRAY
+                        parent[target] = node
+                        stack.append((target, iter(edges[target])))
+                        advanced = True
+                        break
+                    if color[target] == GRAY:
+                        cycle = [node]
+                        current = node
+                        while current != target:
+                            current = parent[current]
+                            cycle.append(current)
+                        cycle.reverse()
+                        return cycle
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
 
     # ------------------------------------------------------------------
     # Setup helpers

@@ -58,6 +58,7 @@ from repro.pipeline.executors import (
 )
 from repro.pipeline.session import (
     Session,
+    SweepFailure,
     SweepPoint,
     SweepResult,
     run,
@@ -96,6 +97,7 @@ __all__ = [
     "registered_archs",
     "resolve_arch",
     "Session",
+    "SweepFailure",
     "SweepPoint",
     "SweepResult",
     "run",

@@ -32,22 +32,47 @@ deterministic and every point runs on an independent binding:
 ``mode=None`` picks ``process`` when every graph is picklable and
 otherwise warns once (naming the offending stage and the ``mode="thread"``
 alternative) before running serially.
+
+Sweeps degrade gracefully under partial failure: per-point ``timeout=``
+and ``retries=`` (with deterministic jittered exponential backoff) bound
+every point's cost, ``on_error="raise"|"collect"|"skip"`` decides whether
+an exhausted point aborts the sweep, surfaces as a structured
+:class:`SweepFailure` in the result list, or is dropped.  A crashed worker
+process (``BrokenProcessPool``) respawns the pool and requeues the points
+that were in flight; a timed-out point is cancelled (the pool is recycled,
+since a busy-waiting worker cannot be interrupted politely) and retried.
+Failed points are never written to the sweep cache, and every result
+payload is sanity-checked before it is accepted, so a corrupted worker
+reply is retried rather than cached.  The recovery machinery is exercised
+deterministically by :mod:`repro.testing.faults`.
 """
 
 from __future__ import annotations
 
 import itertools
+import math
 import pickle
+import random
 import threading
+import time
+import traceback as traceback_module
 import warnings
 import weakref
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait as futures_wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import SimulationError, SweepPointError
+from repro.testing.faults import FaultPlan, active_fault_plan, run_point_with_faults
 from repro.gpu.arch import (
     ArchLike,
     ArchSpec,
@@ -170,11 +195,63 @@ class SweepResult:
     cached: bool = field(default=False, compare=False)
 
     @property
+    def ok(self) -> bool:
+        """``True`` — counterpart of :attr:`SweepFailure.ok` for filtering."""
+        return True
+
+    @property
     def policy_label(self) -> str:
         return _policy_label(self.policy)
 
     def duration_of(self, kernel_name: str) -> float:
         return dict(self.kernel_durations_us)[kernel_name]
+
+
+@dataclass(frozen=True)
+class SweepFailure:
+    """A sweep point that exhausted its attempts (``on_error="collect"``).
+
+    Small, structured and picklable: the point itself, how many attempts
+    were burned, the final exception's type and repr, the formatted
+    traceback of the final attempt (empty for parent-side failures like a
+    vanished worker), and the total wall time the point consumed.  Mixed
+    into the result list at the point's position, so a collect-mode sweep
+    is always position-aligned with its work list; filter with the ``ok``
+    flag::
+
+        results = session.sweep(work, on_error="collect", retries=2)
+        good = [r for r in results if r.ok]
+        bad = [r for r in results if not r.ok]
+    """
+
+    point: SweepPoint
+    graph_label: str
+    attempts: int
+    error_type: str
+    #: ``repr`` of the exception that failed the final attempt.
+    error: str
+    #: Formatted traceback of the final attempt ('' when the failure was
+    #: detected parent-side, e.g. a worker process that died silently).
+    traceback: str = field(default="", compare=False)
+    #: Total wall-clock seconds spent across all attempts of this point.
+    elapsed_s: float = field(default=0.0, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def label(self) -> str:
+        try:
+            return self.point.label()
+        except Exception:
+            return f"{self.point.scheme}@<unresolvable arch>"
+
+    def describe(self) -> str:
+        return (
+            f"{self.graph_label or 'graph'}:{self.label()} failed after "
+            f"{self.attempts} attempt(s) in {self.elapsed_s:.3f}s: "
+            f"{self.error_type}: {self.error}"
+        )
 
 
 def _sweep_point_result(
@@ -215,12 +292,129 @@ def _sweep_point_result(
     )
 
 
-def _sweep_worker(
-    payload: Tuple[PipelineGraph, SweepPoint, Optional[CostModel], str]
-) -> SweepResult:
-    """Top-level worker entry point (must be picklable by name)."""
-    graph, point, cost_model, graph_label = payload
-    return _sweep_point_result(graph, point, cost_model=cost_model, graph_label=graph_label)
+# ----------------------------------------------------------------------
+# Fault-tolerant evaluation machinery
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _RecoveryPolicy:
+    """How :meth:`Session.sweep` handles a failing point (internal)."""
+
+    timeout: Optional[float] = None
+    retries: int = 0
+    backoff: float = 0.05
+    on_error: str = "raise"
+    fault_plan: Optional[FaultPlan] = None
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+
+@dataclass(frozen=True)
+class _WorkerFailure:
+    """A failure captured *inside* a worker, transported back as data.
+
+    The worker formats the traceback and reprs the exception before
+    pickling, so an unpicklable exception type raised by a cost model or
+    kernel surfaces as the original traceback text instead of an opaque
+    ``PicklingError`` in the parent.  The exception object itself rides
+    along only when it pickles cleanly (so ``on_error="raise"`` can
+    re-raise the original).
+    """
+
+    error_type: str
+    error_repr: str
+    traceback_text: str
+    exception: Optional[BaseException] = None
+
+
+class _PointFailure:
+    """Internal carrier pairing a public SweepFailure with the original
+    exception object (when transportable) for ``on_error="raise"``."""
+
+    __slots__ = ("failure", "exception")
+
+    def __init__(self, failure: SweepFailure, exception: Optional[BaseException]):
+        self.failure = failure
+        self.exception = exception
+
+
+def _capture_worker_failure(exc: BaseException) -> _WorkerFailure:
+    transportable: Optional[BaseException] = None
+    try:
+        pickle.loads(pickle.dumps(exc))
+        transportable = exc
+    except Exception:
+        transportable = None
+    return _WorkerFailure(
+        error_type=type(exc).__name__,
+        error_repr=repr(exc),
+        traceback_text=traceback_module.format_exc(),
+        exception=transportable,
+    )
+
+
+def _validate_sweep_result(result: object) -> SweepResult:
+    """Reject corrupt result payloads (NaN/negative times, wrong type).
+
+    The simulator only ever produces finite non-negative times, so a
+    payload that fails these checks was damaged in transit (or by an
+    injected ``corrupt_result`` fault) and must be retried, never cached.
+    """
+    if not isinstance(result, SweepResult):
+        raise SimulationError(
+            f"sweep worker returned {type(result).__name__}, expected SweepResult"
+        )
+    if not math.isfinite(result.total_time_us) or result.total_time_us < 0.0:
+        raise SimulationError(
+            f"corrupt sweep result: total_time_us={result.total_time_us!r}"
+        )
+    if not math.isfinite(result.total_wait_time_us) or result.total_wait_time_us < 0.0:
+        raise SimulationError(
+            f"corrupt sweep result: total_wait_time_us={result.total_wait_time_us!r}"
+        )
+    for name, duration in result.kernel_durations_us:
+        if not math.isfinite(duration) or duration < 0.0:
+            raise SimulationError(
+                f"corrupt sweep result: kernel {name!r} duration {duration!r}"
+            )
+    return result
+
+
+def _backoff_delay(base: float, position: int, attempt: int) -> float:
+    """Jittered exponential backoff before retry ``attempt`` (1-based).
+
+    Deterministic: the jitter is drawn from an RNG seeded on the point's
+    position and the attempt number, so reruns of a failing sweep pause
+    identically (reproducible chaos tests) while distinct points still
+    spread their retries apart.
+    """
+    if base <= 0.0 or attempt <= 0:
+        return 0.0
+    rng = random.Random((position * 1_000_003) ^ attempt)
+    return base * (2 ** (attempt - 1)) * (0.5 + rng.random())
+
+
+def _sweep_worker(payload) -> Union[SweepResult, _WorkerFailure]:
+    """Top-level worker entry point (must be picklable by name).
+
+    Applies the payload's fault plan (chaos testing) and catches every
+    evaluation failure, returning it as a :class:`_WorkerFailure` — the
+    parent decides whether to retry, collect or raise.
+    """
+    graph, point, cost_model, graph_label, fault_plan, position, attempt = payload
+    try:
+        return run_point_with_faults(
+            fault_plan,
+            position,
+            attempt,
+            lambda: _sweep_point_result(
+                graph, point, cost_model=cost_model, graph_label=graph_label
+            ),
+            in_worker_process=True,
+        )
+    except Exception as exc:
+        return _capture_worker_failure(exc)
 
 
 # ----------------------------------------------------------------------
@@ -596,7 +790,11 @@ class Session:
         workers: Optional[int] = None,
         mode: Optional[str] = None,
         cache: Optional[bool] = None,
-    ) -> List[SweepResult]:
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        on_error: str = "raise",
+    ) -> List[Union[SweepResult, "SweepFailure"]]:
         """Evaluate every point of a sweep, in point order.
 
         ``graph_or_work`` is either one graph — expanded into the classic
@@ -624,7 +822,33 @@ class Session:
         was already simulated (earlier in this work list or in a previous
         sweep of this session) are *replayed* instead of re-simulated;
         replays are bit-identical apart from :attr:`SweepResult.cached` and
-        carry the requested policy spelling / graph label.
+        carry the requested policy spelling / graph label.  Only successful
+        results are ever cached — a failing point re-simulates on the next
+        sweep instead of replaying a poisoned entry.
+
+        **Fault tolerance.**  ``retries`` re-evaluates a failing point up
+        to that many extra times, pausing a deterministic jittered
+        exponential backoff (base ``backoff`` seconds) between attempts.
+        ``timeout`` bounds each attempt's wall-clock seconds: in process
+        mode a timed-out point's worker is killed (the pool is recycled and
+        other in-flight points requeued without charge); in serial/thread
+        mode the check is cooperative — the attempt's result is discarded
+        once it finally returns.  A worker process that dies
+        (``BrokenProcessPool``) respawns the pool; every point that was in
+        flight is charged one attempt and requeued.  ``on_error`` decides
+        what happens to a point that exhausts its attempts:
+
+        ``"raise"`` (default)
+            The original exception is re-raised (with the worker traceback
+            attached as a note when it crossed a process boundary); points
+            whose exception cannot be transported raise
+            :class:`~repro.errors.SweepPointError` carrying the original
+            traceback text.
+        ``"collect"``
+            The point surfaces as a structured :class:`SweepFailure` at its
+            position in the result list.
+        ``"skip"``
+            The point is silently dropped from the result list.
 
         Sweeps measure timing only — functional simulation needs per-run
         input tensors and is not part of the point grid; use :meth:`run`
@@ -639,11 +863,29 @@ class Session:
             raise SimulationError(
                 f"unknown sweep mode {mode!r}; choose 'serial', 'thread' or 'process'"
             )
+        if on_error not in ("raise", "collect", "skip"):
+            raise SimulationError(
+                f"unknown on_error policy {on_error!r}; choose 'raise', 'collect' or 'skip'"
+            )
+        if retries < 0:
+            raise SimulationError(f"retries must be non-negative, got {retries}")
+        if timeout is not None and timeout <= 0:
+            raise SimulationError(f"timeout must be positive, got {timeout}")
+        recovery = _RecoveryPolicy(
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+            on_error=on_error,
+            fault_plan=active_fault_plan(),
+        )
         work = self._normalize_work(graph_or_work, policies, arches, schemes)
         labels = self._graph_labels(work)
         use_cache = self._sweep_cache_enabled if cache is None else bool(cache)
         if not use_cache:
-            return self._sweep_evaluate(work, labels, workers, mode)
+            outputs = self._sweep_evaluate(
+                work, labels, workers, mode, recovery, list(range(len(work)))
+            )
+            return self._finalize_outputs(outputs, recovery)
         # Flush stale entries before consulting the cache: a registry change
         # may have re-pointed arch names at different architectures.
         self._check_registry_generation()
@@ -652,8 +894,10 @@ class Session:
         # earlier miss in this same work list, and fresh points.  Only the
         # fresh points are simulated (by whichever mode applies); hits and
         # duplicates are replayed with the requested policy spelling and
-        # graph label.
-        outputs: List[Optional[SweepResult]] = [None] * len(work)
+        # graph label.  Fault-plan positions refer to the *original* work
+        # list, so injected faults target the same points whether or not
+        # the cache absorbed their neighbours.
+        outputs: List[object] = [None] * len(work)
         pending: List[Tuple[PipelineGraph, SweepPoint]] = []
         pending_keys: List[Optional[Tuple]] = []
         pending_targets: List[int] = []
@@ -682,20 +926,77 @@ class Session:
             pending.append((graph, point))
             pending_keys.append(key)
             pending_targets.append(position)
-        fresh = self._sweep_evaluate(pending, labels, workers, mode) if pending else []
+        fresh = (
+            self._sweep_evaluate(pending, labels, workers, mode, recovery, pending_targets)
+            if pending
+            else []
+        )
         for target, key, result in zip(pending_targets, pending_keys, fresh):
             outputs[target] = result
-            if key is not None:
+            # Failed (or aborted) points are never cached: the next sweep
+            # re-simulates them instead of replaying a poisoned entry.
+            if key is not None and isinstance(result, SweepResult):
                 self._sweep_cache[key] = result
         for position, pending_position in duplicates:
             graph, point = work[position]
-            outputs[position] = replace(
-                fresh[pending_position],
-                policy=point.policy,
-                graph_label=labels[id(graph)],
-                cached=True,
-            )
-        return outputs
+            source = fresh[pending_position]
+            if isinstance(source, SweepResult):
+                outputs[position] = replace(
+                    source,
+                    policy=point.policy,
+                    graph_label=labels[id(graph)],
+                    cached=True,
+                )
+            elif isinstance(source, _PointFailure):
+                # The one evaluation this duplicate coalesced onto failed;
+                # the duplicate shares its fate (with its own spelling).
+                outputs[position] = _PointFailure(
+                    replace(source.failure, point=point, graph_label=labels[id(graph)]),
+                    source.exception,
+                )
+        return self._finalize_outputs(outputs, recovery)
+
+    def _finalize_outputs(
+        self, outputs: List[object], recovery: _RecoveryPolicy
+    ) -> List[Union[SweepResult, SweepFailure]]:
+        """Apply the ``on_error`` policy to the assembled point outcomes."""
+        finalized: List[Union[SweepResult, SweepFailure]] = []
+        for outcome in outputs:
+            if isinstance(outcome, _PointFailure):
+                if recovery.on_error == "raise":
+                    self._raise_point_failure(outcome)
+                if recovery.on_error == "collect":
+                    finalized.append(outcome.failure)
+                # "skip": drop the point entirely.
+            elif outcome is not None:
+                finalized.append(outcome)
+            # None outcomes only exist when a raise-mode abort cut the
+            # sweep short — a _PointFailure is guaranteed to be present
+            # and raise before this list is returned.
+        return finalized
+
+    @staticmethod
+    def _raise_point_failure(outcome: _PointFailure) -> None:
+        failure = outcome.failure
+        exception = outcome.exception
+        if exception is not None:
+            if failure.traceback and exception.__traceback__ is None:
+                # The exception crossed a process boundary (pickling drops
+                # the traceback); keep the worker's formatted traceback
+                # visible on the re-raised exception.
+                note = "--- worker traceback ---\n" + failure.traceback.rstrip()
+                add_note = getattr(exception, "add_note", None)
+                if add_note is not None:
+                    add_note(note)
+            raise exception
+        raise SweepPointError(
+            f"sweep point {failure.label()} failed after {failure.attempts} "
+            f"attempt(s): {failure.error_type}: {failure.error}",
+            point_label=failure.label(),
+            attempts=failure.attempts,
+            error_type=failure.error_type,
+            traceback_text=failure.traceback,
+        )
 
     def _sweep_evaluate(
         self,
@@ -703,12 +1004,23 @@ class Session:
         labels: Dict[int, str],
         workers: Optional[int],
         mode: Optional[str],
-    ) -> List[SweepResult]:
-        """Simulate every point of ``work`` under the selected mode."""
+        recovery: _RecoveryPolicy,
+        positions: Sequence[int],
+    ) -> List[object]:
+        """Simulate every point of ``work`` under the selected mode.
+
+        ``positions`` maps each work item back to its position in the
+        caller's original work list — fault plans and backoff jitter key on
+        original positions, so cache hits absorbing neighbouring points
+        never shift which points a chaos plan targets.  Returns, per point,
+        a :class:`SweepResult`, an internal ``_PointFailure`` (attempts
+        exhausted) or ``None`` (not evaluated because a raise-mode abort
+        cut the sweep short).
+        """
         if workers == 0 or mode == "serial" or len(work) <= 1:
-            return self._sweep_serial(work, labels)
+            return self._sweep_serial(work, labels, recovery, positions)
         if mode == "thread":
-            return self._sweep_threaded(work, labels, workers)
+            return self._sweep_threaded(work, labels, workers, recovery, positions)
         if mode == "process":
             culprits = self._pickle_culprits(work)
             if culprits:
@@ -717,12 +1029,12 @@ class Session:
                     + "; ".join(culprits)
                     + ". Use mode='thread' for closure-carrying graphs."
                 )
-            return self._sweep_processes(work, labels, workers)
+            return self._sweep_processes(work, labels, workers, recovery, positions)
         # Automatic mode: processes when possible, else warn + serial.
         culprits = self._pickle_culprits(work, warn=True)
         if culprits:
-            return self._sweep_serial(work, labels)
-        return self._sweep_processes(work, labels, workers)
+            return self._sweep_serial(work, labels, recovery, positions)
+        return self._sweep_processes(work, labels, workers, recovery, positions)
 
     # ------------------------------------------------------------------
     def _normalize_work(
@@ -798,49 +1110,38 @@ class Session:
                     _warn_serial_fallback(graph, culprit)
         return culprits
 
-    def _sweep_serial(
+    def _evaluate_with_recovery(
         self,
-        work: Sequence[Tuple[PipelineGraph, SweepPoint]],
-        labels: Dict[int, str],
-    ) -> List[SweepResult]:
-        return [
-            _sweep_point_result(
-                graph,
-                point,
-                cost_model=self.cost_model(point.arch),
-                stage_summaries=(
-                    self.stage_summaries(graph, point.arch) if point.scheme == "cusync" else None
-                ),
-                graph_label=labels[id(graph)],
-            )
-            for graph, point in work
-        ]
+        graph: PipelineGraph,
+        point: SweepPoint,
+        graph_label: str,
+        recovery: _RecoveryPolicy,
+        position: int,
+        cost_model: Optional[CostModel] = None,
+        stage_summaries: Optional[Dict[str, StageSummary]] = None,
+        lock: Optional[threading.Lock] = None,
+    ) -> object:
+        """Evaluate one point in-process, honouring retries/backoff/timeout.
 
-    def _sweep_threaded(
-        self,
-        work: Sequence[Tuple[PipelineGraph, SweepPoint]],
-        labels: Dict[int, str],
-        workers: Optional[int],
-    ) -> List[SweepResult]:
-        # Resolve each point's cost model and stage summaries serially up
-        # front so worker threads only read prepared values (no per-point
-        # registry/key work on the fan-out path); a per-graph lock
-        # serializes points that share a graph (executors re-bind the
-        # graph's kernels for every run, and two concurrent bindings of
-        # one graph would race).
-        locks: Dict[int, threading.Lock] = {}
-        prepared = []
-        for graph, point in work:
+        The timeout is cooperative here (a thread cannot be killed): an
+        attempt that overruns is discarded after the fact and the point is
+        retried — or failed — exactly as if the attempt had raised.  With
+        ``lock`` set, the lock is held only around the evaluation itself,
+        never across backoff sleeps, so other points sharing the graph
+        keep making progress while this one waits to retry.
+        """
+        if cost_model is None:
             cost_model = self.cost_model(point.arch)
-            stage_summaries = (
-                self.stage_summaries(graph, point.arch) if point.scheme == "cusync" else None
-            )
-            locks.setdefault(id(graph), threading.Lock())
-            prepared.append((graph, point, cost_model, stage_summaries, labels[id(graph)]))
+        if stage_summaries is None and point.scheme == "cusync":
+            stage_summaries = self.stage_summaries(graph, point.arch)
+        started = time.monotonic()
+        last_exception: Optional[BaseException] = None
+        last_traceback = ""
+        for attempt in range(recovery.max_attempts):
+            if attempt:
+                time.sleep(_backoff_delay(recovery.backoff, position, attempt))
 
-        def evaluate(item) -> SweepResult:
-            graph, point, cost_model, stage_summaries, graph_label = item
-            with locks[id(graph)]:
+            def evaluate_once() -> SweepResult:
                 return _sweep_point_result(
                     graph,
                     point,
@@ -849,31 +1150,329 @@ class Session:
                     graph_label=graph_label,
                 )
 
+            try:
+                if lock is not None:
+                    with lock:
+                        attempt_start = time.monotonic()
+                        raw = run_point_with_faults(
+                            recovery.fault_plan, position, attempt, evaluate_once
+                        )
+                        attempt_elapsed = time.monotonic() - attempt_start
+                else:
+                    attempt_start = time.monotonic()
+                    raw = run_point_with_faults(
+                        recovery.fault_plan, position, attempt, evaluate_once
+                    )
+                    attempt_elapsed = time.monotonic() - attempt_start
+                result = _validate_sweep_result(raw)
+            except Exception as exc:
+                last_exception = exc
+                last_traceback = traceback_module.format_exc()
+                continue
+            if recovery.timeout is not None and attempt_elapsed > recovery.timeout:
+                last_exception = TimeoutError(
+                    f"sweep point attempt took {attempt_elapsed:.3f}s "
+                    f"(timeout={recovery.timeout}s); result discarded"
+                )
+                last_traceback = ""
+                continue
+            return result
+        failure = SweepFailure(
+            point=point,
+            graph_label=graph_label,
+            attempts=recovery.max_attempts,
+            error_type=type(last_exception).__name__,
+            error=repr(last_exception),
+            traceback=last_traceback,
+            elapsed_s=time.monotonic() - started,
+        )
+        return _PointFailure(failure, last_exception)
+
+    def _sweep_serial(
+        self,
+        work: Sequence[Tuple[PipelineGraph, SweepPoint]],
+        labels: Dict[int, str],
+        recovery: _RecoveryPolicy,
+        positions: Sequence[int],
+    ) -> List[object]:
+        outputs: List[object] = []
+        for (graph, point), position in zip(work, positions):
+            outcome = self._evaluate_with_recovery(
+                graph, point, labels[id(graph)], recovery, position
+            )
+            outputs.append(outcome)
+            if isinstance(outcome, _PointFailure) and recovery.on_error == "raise":
+                # Fail fast: the caller re-raises this failure, so the
+                # remaining points would be wasted work.
+                outputs.extend([None] * (len(work) - len(outputs)))
+                break
+        return outputs
+
+    def _sweep_threaded(
+        self,
+        work: Sequence[Tuple[PipelineGraph, SweepPoint]],
+        labels: Dict[int, str],
+        workers: Optional[int],
+        recovery: _RecoveryPolicy,
+        positions: Sequence[int],
+    ) -> List[object]:
+        # Resolve each point's cost model and stage summaries serially up
+        # front so worker threads only read prepared values (no per-point
+        # registry/key work on the fan-out path); a per-graph lock
+        # serializes points that share a graph (executors re-bind the
+        # graph's kernels for every run, and two concurrent bindings of
+        # one graph would race).
+        locks: Dict[int, threading.Lock] = {}
+        prepared = []
+        for (graph, point), position in zip(work, positions):
+            cost_model = self.cost_model(point.arch)
+            stage_summaries = (
+                self.stage_summaries(graph, point.arch) if point.scheme == "cusync" else None
+            )
+            locks.setdefault(id(graph), threading.Lock())
+            prepared.append((graph, point, cost_model, stage_summaries, position))
+
+        def evaluate(item) -> object:
+            graph, point, cost_model, stage_summaries, position = item
+            return self._evaluate_with_recovery(
+                graph,
+                point,
+                labels[id(graph)],
+                recovery,
+                position,
+                cost_model=cost_model,
+                stage_summaries=stage_summaries,
+                lock=locks[id(graph)],
+            )
+
         max_workers = workers if workers else min(8, len(work))
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             return list(pool.map(evaluate, prepared))
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Kill a pool's worker processes and discard the pool.
+
+        ``shutdown`` alone would join workers — a worker wedged on a hung
+        point would block forever — so the workers are killed first; the
+        join is then immediate (the pool's management thread notices the
+        dead workers and winds itself down), which lets the executor
+        release its pipes in an orderly way instead of tripping over them
+        at interpreter exit.
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            # A pool broken mid-shutdown can raise from its own cleanup;
+            # the workers are already dead, which is all that matters.
+            pass
 
     def _sweep_processes(
         self,
         work: Sequence[Tuple[PipelineGraph, SweepPoint]],
         labels: Dict[int, str],
         workers: Optional[int],
-    ) -> List[SweepResult]:
-        payloads = [
-            (graph, point, self.cost_model(point.arch), labels[id(graph)])
-            for graph, point in work
+        recovery: _RecoveryPolicy,
+        positions: Sequence[int],
+    ) -> List[object]:
+        n = len(work)
+        base = [
+            (graph, point, self.cost_model(point.arch), labels[id(graph)], position)
+            for (graph, point), position in zip(work, positions)
         ]
-        max_workers = workers if workers else min(8, len(work))
-        pool_usable = True
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            try:
-                # Probe that worker processes actually start (some sandboxes
-                # forbid them); after a successful probe, genuine worker
-                # crashes propagate to the caller instead of silently
-                # re-running serially.
-                pool.submit(int, 0).result()
-            except (OSError, RuntimeError):
-                pool_usable = False
-            if pool_usable:
-                return list(pool.map(_sweep_worker, payloads))
-        return self._sweep_serial(work, labels)
+        max_workers = workers if workers else min(8, n)
+
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+        try:
+            # Probe that worker processes actually start (some sandboxes
+            # forbid them); after a successful probe, genuine worker
+            # crashes are handled by the recovery loop instead of silently
+            # re-running serially.
+            pool.submit(int, 0).result()
+        except (OSError, RuntimeError):
+            self._terminate_pool(pool)
+            return self._sweep_serial(work, labels, recovery, positions)
+
+        outputs: List[object] = [None] * n
+        attempts = [0] * n  # attempts already charged per point
+        not_before = [0.0] * n  # backoff deadline before the next submit
+        started_at: List[Optional[float]] = [None] * n
+        pending = deque(range(n))  # indices waiting to be (re)submitted
+        in_flight: Dict[object, Tuple[int, float]] = {}  # future -> (index, t0)
+        completed = 0
+        abort = False
+
+        def charge_attempt(
+            index: int,
+            exc: Optional[BaseException],
+            error_type: str,
+            error_repr: str,
+            tb_text: str,
+        ) -> None:
+            """One attempt of ``index`` failed: retry after backoff, or fail."""
+            nonlocal completed, abort
+            attempts[index] += 1
+            if attempts[index] >= recovery.max_attempts:
+                graph, point, _, graph_label, position = base[index]
+                first_start = started_at[index]
+                failure = SweepFailure(
+                    point=point,
+                    graph_label=graph_label,
+                    attempts=attempts[index],
+                    error_type=error_type,
+                    error=error_repr,
+                    traceback=tb_text,
+                    elapsed_s=(
+                        time.monotonic() - first_start if first_start is not None else 0.0
+                    ),
+                )
+                outputs[index] = _PointFailure(failure, exc)
+                completed += 1
+                if recovery.on_error == "raise":
+                    abort = True
+            else:
+                position = base[index][4]
+                not_before[index] = time.monotonic() + _backoff_delay(
+                    recovery.backoff, position, attempts[index]
+                )
+                pending.append(index)
+
+        def submit(index: int) -> None:
+            graph, point, cost_model, graph_label, position = base[index]
+            if started_at[index] is None:
+                started_at[index] = time.monotonic()
+            payload = (
+                graph,
+                point,
+                cost_model,
+                graph_label,
+                recovery.fault_plan,
+                position,
+                attempts[index],
+            )
+            in_flight[pool.submit(_sweep_worker, payload)] = (index, time.monotonic())
+
+        def recycle_pool() -> None:
+            nonlocal pool
+            self._terminate_pool(pool)
+            pool = ProcessPoolExecutor(max_workers=max_workers)
+
+        try:
+            while completed < n and not abort:
+                now = time.monotonic()
+                # Submit every ready task (backoff deadline passed) up to
+                # the pool's width; deferred tasks keep their order.
+                if pending and len(in_flight) < max_workers:
+                    deferred: List[int] = []
+                    while pending and len(in_flight) < max_workers:
+                        index = pending.popleft()
+                        if not_before[index] > now:
+                            deferred.append(index)
+                        else:
+                            submit(index)
+                    pending.extendleft(reversed(deferred))
+                if not in_flight:
+                    # Everything runnable is waiting out a backoff.
+                    soonest = min(not_before[index] for index in pending)
+                    time.sleep(max(0.0, soonest - time.monotonic()))
+                    continue
+                if recovery.timeout is not None:
+                    deadline = min(t0 + recovery.timeout for _, t0 in in_flight.values())
+                    wait_timeout = max(0.0, deadline - time.monotonic()) + 0.01
+                else:
+                    wait_timeout = None
+                done, _ = futures_wait(
+                    list(in_flight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+                )
+                broken: Optional[BaseException] = None
+                for future in done:
+                    index, t0 = in_flight.pop(future)
+                    try:
+                        value = future.result()
+                    except BrokenProcessPool as exc:
+                        # Put the future back so the stranded sweep below
+                        # charges this point along with the rest.
+                        in_flight[future] = (index, t0)
+                        broken = exc
+                        break
+                    except Exception as exc:
+                        # e.g. the worker's return value failed to unpickle.
+                        charge_attempt(
+                            index,
+                            exc,
+                            type(exc).__name__,
+                            repr(exc),
+                            traceback_module.format_exc(),
+                        )
+                        continue
+                    if isinstance(value, _WorkerFailure):
+                        charge_attempt(
+                            index,
+                            value.exception,
+                            value.error_type,
+                            value.error_repr,
+                            value.traceback_text,
+                        )
+                        continue
+                    try:
+                        result = _validate_sweep_result(value)
+                    except SimulationError as exc:
+                        charge_attempt(index, exc, type(exc).__name__, repr(exc), "")
+                        continue
+                    outputs[index] = result
+                    completed += 1
+                if broken is not None:
+                    # A worker died hard (injected crash / OOM kill / segv).
+                    # Any in-flight point may have been the one the dead
+                    # worker was evaluating, so each is charged one attempt
+                    # and requeued; the broken pool is respawned.
+                    stranded = [index for index, _ in in_flight.values()]
+                    in_flight.clear()
+                    recycle_pool()
+                    for index in stranded:
+                        charge_attempt(
+                            index,
+                            broken,
+                            type(broken).__name__,
+                            f"worker process died while this point was in flight: {broken!r}",
+                            "",
+                        )
+                    continue
+                if recovery.timeout is not None and not done:
+                    now = time.monotonic()
+                    overdue = [
+                        (index, t0)
+                        for _, (index, t0) in in_flight.items()
+                        if now - t0 >= recovery.timeout
+                    ]
+                    if overdue:
+                        # Running futures cannot be cancelled: kill the
+                        # workers and respawn the pool.  Overdue points are
+                        # charged a timeout attempt; the other in-flight
+                        # points are requeued without charge.
+                        overdue_set = {index for index, _ in overdue}
+                        bystanders = [
+                            index
+                            for _, (index, _) in in_flight.items()
+                            if index not in overdue_set
+                        ]
+                        in_flight.clear()
+                        recycle_pool()
+                        for index, _ in overdue:
+                            exc = TimeoutError(
+                                f"sweep point exceeded timeout={recovery.timeout}s "
+                                "in a worker process; worker killed"
+                            )
+                            charge_attempt(index, exc, "TimeoutError", repr(exc), "")
+                        for index in reversed(bystanders):
+                            not_before[index] = 0.0
+                            pending.appendleft(index)
+        finally:
+            self._terminate_pool(pool)
+        return outputs

@@ -1,0 +1,23 @@
+"""Testing utilities: deterministic fault injection for chaos tests.
+
+``repro.testing`` is shipped with the library (not hidden in the test
+tree) so downstream users can chaos-test their own pipelines and policies
+against the same fault taxonomy the library's own recovery paths are
+verified with.  See :mod:`repro.testing.faults`.
+"""
+
+from repro.testing.faults import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    active_fault_plan,
+    inject_faults,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "active_fault_plan",
+    "inject_faults",
+]

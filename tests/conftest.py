@@ -5,11 +5,20 @@ with a handful of thread blocks already show multi-wave behaviour and run in
 milliseconds; architecture-accuracy tests use the real V100 preset.
 """
 
+import os
+import threading
+
 import numpy as np
 import pytest
 
 from repro.gpu.arch import TESLA_V100
 from repro.gpu.costmodel import CostModel
+
+#: Per-test wall-clock budget for the fallback watchdog, in seconds.
+#: Overridable via REPRO_TEST_TIMEOUT; 0 disables the watchdog.
+_FALLBACK_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+_HAVE_TIMEOUT_PLUGIN = False
 
 
 def pytest_configure(config):
@@ -18,6 +27,48 @@ def pytest_configure(config):
         "slow: long multi-mode sweep tests; the fast CI lane deselects them "
         'with -m "not slow"',
     )
+    global _HAVE_TIMEOUT_PLUGIN
+    _HAVE_TIMEOUT_PLUGIN = config.pluginmanager.hasplugin("timeout")
+
+
+@pytest.fixture(autouse=True)
+def _hang_watchdog(request):
+    """Fallback per-test timeout for environments without pytest-timeout.
+
+    CI installs pytest-timeout (which supersedes this); locally, a hung
+    test — the robustness suite deliberately exercises hangs, deadlocks
+    and worker kills — would otherwise wedge the whole run.  A stuck test
+    thread cannot be interrupted politely, so on expiry the watchdog
+    reports the offender and aborts the process.
+    """
+    if _HAVE_TIMEOUT_PLUGIN or _FALLBACK_TIMEOUT_S <= 0:
+        yield
+        return
+
+    def expired():
+        message = (
+            f"\n[conftest watchdog] test {request.node.nodeid} exceeded "
+            f"{_FALLBACK_TIMEOUT_S:g}s (set REPRO_TEST_TIMEOUT to adjust); "
+            "aborting the test run\n"
+        )
+        # Suspend pytest's fd-level capture first, or the message dies in
+        # a capture buffer that os._exit never replays.
+        capman = request.config.pluginmanager.getplugin("capturemanager")
+        try:
+            if capman is not None:
+                capman.suspend_global_capture(in_=True)
+        except Exception:
+            pass
+        os.write(2, message.encode())
+        os._exit(70)
+
+    timer = threading.Timer(_FALLBACK_TIMEOUT_S, expired)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    finally:
+        timer.cancel()
 
 
 @pytest.fixture
