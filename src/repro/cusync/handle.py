@@ -197,7 +197,16 @@ class CuSyncPipeline:
         poll_duration = self.cost_model.wait_kernel_poll_us()
 
         def build(tile: Dim3) -> ThreadBlockProgram:
-            segment = Segment(label="wait-kernel", waits=list(waits), duration_us=poll_duration)
+            segment = Segment(
+                label="wait-kernel",
+                waits=list(waits),
+                duration_us=poll_duration,
+                # The real wait kernel busy-waits at poll granularity; the
+                # simulated block parks in the wake index instead (woken
+                # once, no re-dispatch) and back-charges the polls it would
+                # have issued while parked.
+                poll_interval_us=poll_duration,
+            )
             return ThreadBlockProgram(tile=tile, segments=[segment])
 
         return KernelLaunch(

@@ -95,6 +95,15 @@ class Segment:
     writes: List[TensorAccess] = field(default_factory=list)
     #: Optional functional computation, executed when the segment completes.
     compute: Optional[Callable[[GlobalMemory], None]] = None
+    #: When positive, a block parked on this segment's waits models a
+    #: busy-wait loop polling its semaphores every ``poll_interval_us``
+    #: (the wait kernel's single-thread spin, Section III-B): on resume it
+    #: charges one poll per wait per elapsed interval to the memory
+    #: system's read counter.  Purely an accounting refinement — the block
+    #: still parks in the wake index and wakes exactly once, so event
+    #: counts and times are untouched.  Zero (the default) charges only
+    #: the parking-time polls.
+    poll_interval_us: float = 0.0
 
     def __post_init__(self) -> None:
         # Inlined check_non_negative: segments are built once per dispatched

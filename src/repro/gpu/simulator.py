@@ -510,10 +510,19 @@ class GpuSimulator:
 
         def resume_block(block_id: int, time: float) -> None:
             """Schedule the blocked segment's completion after its waits clear."""
+            nonlocal polls
             waited = time - blk_waiting_since[block_id]
             blk_wait_time[block_id] += waited
             blk_waiting_since[block_id] = None
             segment = blk_segments[block_id][blk_segment_index[block_id]]
+            interval = segment.poll_interval_us
+            if interval > 0.0 and waited > 0.0:
+                # Busy-wait segments (the wait kernel) park in the wake
+                # index like everyone else but charge the polls the real
+                # spin loop would have issued while parked: one per wait
+                # per elapsed poll interval.  Accounting only — times and
+                # wake order are identical with or without the charge.
+                polls += len(segment.waits) * int(waited / interval)
             overhead = wait_overhead_us * len(segment.waits) + wait_resume_latency_us
             posts = segment.posts
             if posts:

@@ -218,6 +218,40 @@ class TiledKernel(ABC):
         """Drop memoized plans/durations; overridden by caching kernels."""
 
     # ------------------------------------------------------------------
+    # Structural identity
+    # ------------------------------------------------------------------
+    def structural_state(self) -> tuple:
+        """Canonical, process-independent description of this kernel.
+
+        :meth:`PipelineGraph.structural_fingerprint
+        <repro.pipeline.graph.PipelineGraph.structural_fingerprint>` hashes
+        this to key sweep results by *what the kernel computes*: two
+        kernels built from equal configuration — in the same process or
+        not — share cache and result-store entries.  The default covers
+        kernels whose constructor state lives in public attributes
+        (problem/config dataclasses, epilogues, module-level transforms):
+        every non-underscore attribute is canonicalized, while the
+        run-time bindings (``cost_model`` / ``sync`` / ``functional``) and
+        memoized plan caches live in underscore attributes and are
+        excluded.  Subclasses whose public attributes carry
+        non-structural state must override this.
+
+        Raises :class:`~repro.pipeline.structural.UnportableValueError`
+        when the kernel holds values without a process-independent
+        identity (e.g. closures); such graphs fall back to per-process
+        cache keying.
+        """
+        from repro.pipeline.structural import canonicalize
+
+        state = {
+            name: value
+            for name, value in vars(self).items()
+            if not name.startswith("_")
+        }
+        klass = type(self)
+        return ("kernel", f"{klass.__module__}.{klass.__qualname__}", canonicalize(state))
+
+    # ------------------------------------------------------------------
     # Subclass responsibilities
     # ------------------------------------------------------------------
     @property

@@ -259,6 +259,88 @@ class PipelineGraph:
     def __iter__(self) -> Iterable[StageSpec]:
         return iter(self._topological)
 
+    # ------------------------------------------------------------------
+    # Structural identity
+    # ------------------------------------------------------------------
+    def structural_state(self) -> Tuple:
+        """Canonical value-level description of the graph's structure.
+
+        Covers everything that determines simulation results: stage names
+        in declaration order, each stage's kernel (class plus
+        configuration, via :meth:`TiledKernel.structural_state
+        <repro.kernels.base.TiledKernel.structural_state>`), strided
+        grouping and policy/order/optimization overrides, and every edge's
+        endpoints, tensor, range map and policy override.  The graph
+        *name* is excluded — it is a reporting label, not structure.
+
+        Note ``range_map`` **is** part of the structural state even though
+        :class:`Edge` equality ignores it (it defaults to ``compare=False``
+        because callables rarely compare meaningfully): two graphs whose
+        edges map consumer reads differently simulate differently, so they
+        must never share a fingerprint.  Raises
+        :class:`~repro.pipeline.structural.UnportableValueError` when the
+        graph holds values without a process-independent identity (closure
+        range maps, ad-hoc callables).
+        """
+        from repro.pipeline.structural import canonicalize
+
+        cached = self.__dict__.get("_structural_state")
+        if cached is not None:
+            return cached
+        stages = []
+        for stage in self._stages:
+            stages.append(
+                (
+                    "stage",
+                    stage.name,
+                    stage.kernel.structural_state(),
+                    canonicalize(stage.strided_groups),
+                    canonicalize(stage.policy),
+                    canonicalize(stage.order),
+                    canonicalize(stage.optimizations),
+                )
+            )
+        edges = []
+        for edge in self._edges:
+            edges.append(
+                (
+                    "edge",
+                    edge.producer,
+                    edge.consumer,
+                    edge.tensor,
+                    canonicalize(edge.range_map),
+                    canonicalize(edge.policy),
+                )
+            )
+        state = ("pipeline-graph/v1", tuple(stages), tuple(edges))
+        self._structural_state = state
+        return state
+
+    def structural_fingerprint(self) -> Optional[str]:
+        """Process-independent content hash of the graph, or ``None``.
+
+        Equal graphs — built in different processes, or rebuilt in this
+        one — share the fingerprint, which is what lets sweep caches and
+        the disk-backed result store replay results across graph objects
+        and process lifetimes.  Returns ``None`` when the graph has no
+        portable structural identity (see :meth:`structural_state`);
+        callers then fall back to per-process identity keying.
+        """
+        from repro.pipeline.structural import (
+            UnportableValueError,
+            canonicalize,  # noqa: F401  (re-exported for callers)
+            fingerprint,
+        )
+
+        if "_structural_fingerprint" in self.__dict__:
+            return self._structural_fingerprint
+        try:
+            digest: Optional[str] = fingerprint(self.structural_state())
+        except UnportableValueError:
+            digest = None
+        self._structural_fingerprint = digest
+        return digest
+
     def describe(self) -> str:
         parts = [f"{stage.name}[{stage.kernel.grid}]" for stage in self._topological]
         label = f"{self._name!r}, " if self._name else ""

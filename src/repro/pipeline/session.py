@@ -446,17 +446,23 @@ def _closure_culprit(graph: PipelineGraph) -> Optional[str]:
 
 
 def _evict_graph_entries(session_ref: "weakref.ref[Session]", token: int) -> None:
-    """Drop a dead graph's sweep-cache entries (weakref.finalize callback).
+    """Drop a dead token-keyed graph's sweep-cache entries (finalize callback).
 
-    Tokens are never reused, so the dead graph's entries could never be
-    hit again — this just stops them from accumulating in long-lived
-    sessions that sweep many transient graphs.  The callback holds the
-    session weakly so a finalizer on a long-lived graph does not pin it.
+    Only graphs *without* a structural fingerprint (closure range maps,
+    ad-hoc callables) key by per-process token; their entries are keyed by
+    object identity, so once the graph dies they could never be hit again
+    and are evicted.  Fingerprint-keyed entries are deliberately **not**
+    evicted on graph death: an equal graph rebuilt later replays them —
+    that sharing is the point of structural keying (use
+    :meth:`Session.clear_sweep_cache` to bound memory).  The callback
+    holds the session weakly so a finalizer on a long-lived graph does not
+    pin it.
     """
     session = session_ref()
     if session is not None:
         cache = session._sweep_cache
-        for key in [key for key in cache if key[0] == token]:
+        dead = ("token", token)
+        for key in [key for key in cache if key[0] == dead]:
             del cache[key]
 
 
@@ -584,8 +590,11 @@ class Session:
     only, no per-run memory or tensors), so a point's
     :class:`SweepResult` is fully determined by its trace key — the tuple
     ``(graph, resolved arch key, scheme, resolved policy assignment)``,
-    where the graph is identified by object (graphs are mutable-by-nobody
-    but not value-hashable) and the policy lowers through
+    where the graph is identified by its **structural fingerprint**
+    (:meth:`~repro.pipeline.graph.PipelineGraph.structural_fingerprint`),
+    so equal graphs — rebuilt in this process or built in another one —
+    share entries (graphs without a portable fingerprint fall back to
+    per-process identity tokens), and the policy lowers through
     :meth:`~repro.cusync.policies.PolicyAssignment.coerce` so equivalent
     spellings (``"TileSync"``, ``PolicySpec("TileSync")``, a uniform
     assignment) share one entry.  Duplicate points within one work list
@@ -595,6 +604,15 @@ class Session:
     ``Session(sweep_cache=False)`` (or per call, ``sweep(..., cache=False)``)
     for memory-constrained runs; :attr:`sweep_cache_hits` /
     :attr:`sweep_cache_misses` count replays vs simulations.
+
+    ``result_store`` adds a **persistent tier** under the in-memory cache
+    (see :mod:`repro.service.store`): points whose trace key is fully
+    portable (:meth:`sweep_store_key`) consult the store on a cache miss
+    and write fresh successful results through to it, so a brand-new
+    process replays a previously swept grid bit-identically with zero
+    simulations.  Store hits count in :attr:`sweep_store_hits`; failures
+    are never persisted, and store errors (corrupt entries, I/O) degrade
+    to simulation, counted in :attr:`sweep_store_errors`.
     """
 
     def __init__(
@@ -603,6 +621,7 @@ class Session:
         functional: bool = False,
         cost_model: Optional[CostModel] = None,
         sweep_cache: bool = True,
+        result_store: Optional["SweepResultStoreLike"] = None,
     ) -> None:
         #: The session's default architecture, always resolved to a concrete
         #: instance (names and :class:`~repro.gpu.arch.ArchSpec` values are
@@ -639,17 +658,28 @@ class Session:
         #: Sweep-result cache: trace key -> SweepResult (see class docs).
         self._sweep_cache_enabled = bool(sweep_cache)
         self._sweep_cache: Dict[Tuple, SweepResult] = {}
-        #: Stable per-graph tokens for the trace keys.  Weakly keyed, and
-        #: tokens are never reused, so a dead graph's stale cache entries
-        #: can never be hit by a new graph that recycles its id().
+        #: Optional persistent result tier consulted under the in-memory
+        #: cache (see :mod:`repro.service.store`): any object with
+        #: ``get(key) -> Optional[SweepResult]`` / ``put(key, result)``.
+        #: Only points with a fully portable trace key (structural graph
+        #: fingerprint + registry-addressed arch) use it; lookups and
+        #: writes are best-effort and never fail a sweep.
+        self.result_store = result_store
+        #: Fallback per-graph tokens for graphs *without* a structural
+        #: fingerprint (closure range maps).  Weakly keyed, and tokens are
+        #: never reused, so a dead graph's stale cache entries can never
+        #: be hit by a new graph that recycles its id().
         self._graph_tokens: "weakref.WeakKeyDictionary[PipelineGraph, int]" = (
             weakref.WeakKeyDictionary()
         )
         self._graph_token_counter = itertools.count()
         #: How many sweep points were replayed from / simulated into the
-        #: result cache over the session's lifetime.
+        #: result cache over the session's lifetime, plus how many were
+        #: replayed from / persisted into the result store.
         self.sweep_cache_hits = 0
         self.sweep_cache_misses = 0
+        self.sweep_store_hits = 0
+        self.sweep_store_errors = 0
         self._pin_session_cost_model()
 
     def _pin_session_cost_model(self) -> None:
@@ -697,19 +727,35 @@ class Session:
         if token is None:
             token = next(self._graph_token_counter)
             self._graph_tokens[graph] = token
-            # When the graph dies its entries can never be hit again;
-            # evict them so sessions sweeping many transient graphs don't
-            # accumulate unreachable results.
+            # When a token-keyed graph dies its entries can never be hit
+            # again; evict them so sessions sweeping many transient
+            # unfingerprintable graphs don't accumulate unreachable results.
             weakref.finalize(graph, _evict_graph_entries, weakref.ref(self), token)
         return token
+
+    def _graph_key(self, graph: PipelineGraph) -> Tuple:
+        """The graph component of a trace key.
+
+        Graphs with a structural fingerprint key by *content*: equal
+        graphs — rebuilt in this process or built in another one — share
+        cache (and result-store) entries.  Graphs without one (closure
+        range maps, ad-hoc callables) fall back to a per-process,
+        never-reused token whose entries are evicted when the graph dies.
+        """
+        digest = graph.structural_fingerprint()
+        if digest is not None:
+            return ("graph", digest)
+        return ("token", self._graph_token(graph))
 
     def _sweep_cache_key(self, graph: PipelineGraph, point: SweepPoint) -> Optional[Tuple]:
         """The point's trace key, or ``None`` when it cannot be cached.
 
-        The arch axis keys through :func:`canonical_arch_key` (the same
-        keying as the cost-model cache, whose entries keep unregistered
-        instances alive so an id-based key is never recycled while cache
-        entries exist); the policy axis lowers to a
+        The graph axis keys by structural fingerprint when it has one
+        (see :meth:`_graph_key`); the arch axis keys through
+        :func:`canonical_arch_key` (the same keying as the cost-model
+        cache, whose entries keep unregistered instances alive so an
+        id-based key is never recycled while cache entries exist); the
+        policy axis lowers to a
         :class:`~repro.cusync.policies.PolicyAssignment` so equivalent
         spellings share an entry.  Non-cusync schemes have no policy axis.
         """
@@ -721,7 +767,125 @@ class Session:
             arch_key = canonical_arch_key(point.arch if point.arch is not None else self.arch)
         except Exception:
             return None
-        return (self._graph_token(graph), arch_key, point.scheme, policy_key)
+        return (self._graph_key(graph), arch_key, point.scheme, policy_key)
+
+    def sweep_store_key(self, graph: PipelineGraph, point: SweepPoint) -> Optional[Tuple]:
+        """The point's *persistent* trace key, or ``None`` when it has none.
+
+        A store key is the fully portable twin of the in-memory trace key:
+        nested tuples of primitives only, identical in every process, so it
+        can address entries of an on-disk result store
+        (:class:`repro.service.store.SweepResultStore`).  Points key by
+        the graph's structural fingerprint, the canonicalized
+        registry-addressed architecture, the scheme, and the coerced
+        policy assignment.  Points without a portable identity — graphs
+        with closure range maps, raw unregistered
+        :class:`~repro.gpu.arch.GpuArchitecture` instances, exotic policy
+        parameters — return ``None`` and simply bypass the store tier.
+        """
+        from repro.pipeline.structural import UnportableValueError, canonicalize
+
+        digest = graph.structural_fingerprint()
+        if digest is None:
+            return None
+        try:
+            if point.scheme == "cusync" and point.policy is not None:
+                policy_key = canonicalize(PolicyAssignment.coerce(point.policy))
+            else:
+                policy_key = ("none",)
+            arch_key = canonical_arch_key(point.arch if point.arch is not None else self.arch)
+            if not isinstance(arch_key, ArchSpec):
+                return None  # unregistered instance: per-process identity only
+            arch_canonical = canonicalize(arch_key)
+        except Exception:
+            return None
+        return ("sweep-result/v1", digest, arch_canonical, point.scheme, policy_key)
+
+    def sweep_trace_key(self, graph: PipelineGraph, point: SweepPoint) -> Optional[Tuple]:
+        """The point's in-memory trace key, or ``None`` when it has none.
+
+        Two points with equal trace keys replay the same result; service
+        fronts use this as the identity under which duplicate in-flight
+        points coalesce.  Registry generations are checked first, so a key
+        handed out is valid against the current registries.  Unlike
+        :meth:`sweep_store_key` the trace key exists for most points (it
+        falls back to per-process graph tokens and arch identities) —
+        ``None`` means the point is uncacheable and every submission must
+        evaluate independently.
+        """
+        self._check_registry_generation()
+        return self._sweep_cache_key(graph, point)
+
+    def cached_sweep_result(
+        self, graph: PipelineGraph, point: SweepPoint
+    ) -> Optional[SweepResult]:
+        """The in-memory cached result for ``(graph, point)``, or ``None``.
+
+        A raw cache probe for service fronts and tooling: registry
+        generations are checked first (stale entries flush), but the disk
+        store is *not* consulted and no counters move.  The returned
+        result is the cached entry itself — replay spelling/label
+        adjustments are the caller's job.
+        """
+        self._check_registry_generation()
+        key = self._sweep_cache_key(graph, point)
+        if key is None:
+            return None
+        return self._sweep_cache.get(key)
+
+    def adopt_sweep_result(
+        self, graph: PipelineGraph, point: SweepPoint, result: SweepResult
+    ) -> bool:
+        """Install ``result`` under ``(graph, point)``'s trace key.
+
+        Service fronts use this to warm the in-memory tier with results
+        they obtained elsewhere (the disk store, a remote worker).  Only
+        successful :class:`SweepResult` values are accepted — failures are
+        never cached, matching :meth:`sweep`.  Returns ``False`` when the
+        session's cache is disabled or the point has no trace key.
+        """
+        if not isinstance(result, SweepResult):
+            raise SimulationError(
+                f"adopt_sweep_result expects a SweepResult, got {type(result).__name__}"
+            )
+        if not self._sweep_cache_enabled:
+            return False
+        self._check_registry_generation()
+        key = self._sweep_cache_key(graph, point)
+        if key is None:
+            return False
+        self._sweep_cache[key] = result
+        return True
+
+    def _store_lookup(
+        self, graph: PipelineGraph, point: SweepPoint
+    ) -> Optional[SweepResult]:
+        """Best-effort read of the persistent tier (``None`` = miss)."""
+        if self.result_store is None:
+            return None
+        key = self.sweep_store_key(graph, point)
+        if key is None:
+            return None
+        try:
+            result = self.result_store.get(key)
+        except Exception:
+            self.sweep_store_errors += 1
+            return None
+        return result if isinstance(result, SweepResult) else None
+
+    def _store_write(
+        self, graph: PipelineGraph, point: SweepPoint, result: SweepResult
+    ) -> None:
+        """Best-effort write-through of a fresh result to the persistent tier."""
+        if self.result_store is None:
+            return
+        key = self.sweep_store_key(graph, point)
+        if key is None:
+            return
+        try:
+            self.result_store.put(key, result)
+        except Exception:
+            self.sweep_store_errors += 1
 
     # ------------------------------------------------------------------
     def _arch_entry(self, arch: Optional[ArchLike]) -> Tuple[object, GpuArchitecture]:
@@ -921,6 +1085,20 @@ class Session:
                     self.sweep_cache_hits += 1
                     duplicates.append((position, in_flight))
                     continue
+                stored = self._store_lookup(graph, point)
+                if stored is not None:
+                    # Persistent-tier hit: promote into the in-memory cache
+                    # so the rest of this work list (and later sweeps) hit
+                    # without touching disk, then replay like a cache hit.
+                    self.sweep_store_hits += 1
+                    self._sweep_cache[key] = stored
+                    outputs[position] = replace(
+                        stored,
+                        policy=point.policy,
+                        graph_label=labels[id(graph)],
+                        cached=True,
+                    )
+                    continue
                 pending_by_key[key] = len(pending)
             self.sweep_cache_misses += 1
             pending.append((graph, point))
@@ -931,12 +1109,16 @@ class Session:
             if pending
             else []
         )
-        for target, key, result in zip(pending_targets, pending_keys, fresh):
+        for (graph, point), target, key, result in zip(
+            pending, pending_targets, pending_keys, fresh
+        ):
             outputs[target] = result
-            # Failed (or aborted) points are never cached: the next sweep
-            # re-simulates them instead of replaying a poisoned entry.
+            # Failed (or aborted) points are never cached or persisted: the
+            # next sweep re-simulates them instead of replaying a poisoned
+            # entry.
             if key is not None and isinstance(result, SweepResult):
                 self._sweep_cache[key] = result
+                self._store_write(graph, point, result)
         for position, pending_position in duplicates:
             graph, point = work[position]
             source = fresh[pending_position]
@@ -1017,7 +1199,11 @@ class Session:
         exhausted) or ``None`` (not evaluated because a raise-mode abort
         cut the sweep short).
         """
-        if workers == 0 or mode == "serial" or len(work) <= 1:
+        if workers == 0 or mode == "serial" or (len(work) <= 1 and mode is None):
+            # A single point defaults to the serial path (no pool is worth
+            # spinning up for it), but an *explicit* mode is honoured even
+            # then — service fronts evaluate one point per call and still
+            # want process-pool isolation semantics when asked for them.
             return self._sweep_serial(work, labels, recovery, positions)
         if mode == "thread":
             return self._sweep_threaded(work, labels, workers, recovery, positions)

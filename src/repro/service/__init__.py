@@ -1,0 +1,46 @@
+"""Sweep service: content-addressed persistence + an async job layer.
+
+The pieces (see ``docs/service.md`` for the full tour):
+
+:mod:`repro.service.store`
+    :class:`SweepResultStore` — a disk-backed, content-addressed store of
+    sweep results keyed by structural graph fingerprints, shared across
+    processes and sessions.  Plug one into
+    :class:`~repro.pipeline.Session` (``result_store=``) for a persistent
+    tier under the in-memory sweep cache, or into a
+    :class:`SweepService`.
+
+:mod:`repro.service.jobs`
+    :class:`SweepService` — an asyncio front that coalesces duplicate
+    in-flight points across concurrent clients (each novel point
+    simulates exactly once), resolves through memory → store →
+    simulation, and streams per-point results.
+
+:mod:`repro.service.fakes`
+    In-memory store/worker fakes for tests and experiments.
+"""
+
+from .jobs import PointOutcome, SessionWorker, SweepJob, SweepService
+from .store import (
+    STORE_VERSION,
+    ResultStore,
+    SweepResultStore,
+    content_address,
+    decode_result,
+    encode_result,
+    normalize_key,
+)
+
+__all__ = [
+    "PointOutcome",
+    "ResultStore",
+    "STORE_VERSION",
+    "SessionWorker",
+    "SweepJob",
+    "SweepResultStore",
+    "SweepService",
+    "content_address",
+    "decode_result",
+    "encode_result",
+    "normalize_key",
+]

@@ -1,0 +1,289 @@
+"""Disk-backed, content-addressed store for sweep results.
+
+One :class:`SweepResultStore` persists :class:`~repro.pipeline.SweepResult`
+values keyed by the fully portable trace key
+:meth:`Session.sweep_store_key <repro.pipeline.session.Session.sweep_store_key>`
+builds — ``(format tag, graph structural fingerprint, canonical arch,
+scheme, canonical policy assignment)`` — so any process that rebuilds an
+equal graph addresses the same entries.  Design constraints, in order:
+
+**Never wrong.**  Every entry echoes its full key; a read whose echo does
+not match the requested key (a content-address collision, a hand-edited
+file) is a miss.  Entries carry a format ``version``; version-mismatched
+entries are ignored, never reinterpreted.  Results round-trip through
+JSON, whose shortest-round-trip float encoding is exact — replayed
+results are bit-identical to the persisted ones.
+
+**Never crash.**  Reads tolerate arbitrary corruption — truncated writes,
+garbage bytes, missing fields, wrong types all read as misses (counted in
+``corrupt_entries``) and leave the sweep to simulate the point fresh.
+
+**Never torn.**  Writes go to a temporary file in the destination
+directory and land with an atomic :func:`os.replace`, so concurrent
+writers (or a crash mid-write) can never expose a partial entry; two
+writers racing on one key both write complete, identical-keyed entries
+and the last one wins.
+
+Layout: ``<root>/<aa>/<address>.json`` where ``address`` is the sha256 of
+the canonical JSON encoding of the key and ``aa`` its first two hex
+characters (sharding keeps directories small at millions of entries).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.pipeline.session import SweepResult
+
+__all__ = [
+    "STORE_VERSION",
+    "ResultStore",
+    "SweepResultStore",
+    "content_address",
+    "decode_result",
+    "encode_result",
+    "normalize_key",
+]
+
+#: Entry-format version.  Bump when the payload schema changes; readers
+#: ignore entries written under any other version.
+STORE_VERSION = 1
+
+
+def normalize_key(key: Tuple) -> List:
+    """The key in its JSON shape (nested lists), for hashing and echoing."""
+    if isinstance(key, (tuple, list)):
+        return [normalize_key(item) for item in key]
+    if isinstance(key, (str, int, float, bool)) or key is None:
+        return key
+    raise TypeError(
+        f"store keys must be nested tuples of primitives, got {type(key).__name__} "
+        "(build keys with Session.sweep_store_key)"
+    )
+
+
+def content_address(key: Tuple) -> str:
+    """Deterministic sha256 address of a store key (hex, 64 chars)."""
+    encoded = json.dumps(normalize_key(key), separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def _policy_label(policy: object) -> Optional[str]:
+    if policy is None:
+        return None
+    if isinstance(policy, str):
+        return policy
+    return policy.label()  # type: ignore[attr-defined]
+
+
+def encode_result(result: SweepResult) -> Dict[str, object]:
+    """The JSON payload of one result.
+
+    The policy is persisted as its *label* (replays through
+    :meth:`Session.sweep <repro.pipeline.session.Session.sweep>` override
+    it with the requested spelling anyway, exactly like in-memory cache
+    hits); every numeric field keeps full float precision via JSON's
+    shortest-round-trip encoding.
+    """
+    return {
+        "scheme": result.scheme,
+        "policy": _policy_label(result.policy),
+        "arch_name": result.arch_name,
+        "total_time_us": result.total_time_us,
+        "total_wait_time_us": result.total_wait_time_us,
+        "kernel_durations_us": [[name, us] for name, us in result.kernel_durations_us],
+        "graph_label": result.graph_label,
+    }
+
+
+def decode_result(payload: object) -> SweepResult:
+    """Rebuild a :class:`SweepResult` from its payload; raise on any mismatch."""
+    if not isinstance(payload, dict):
+        raise ValueError("result payload is not an object")
+    scheme = payload["scheme"]
+    policy = payload["policy"]
+    arch_name = payload["arch_name"]
+    total_time_us = payload["total_time_us"]
+    total_wait_time_us = payload["total_wait_time_us"]
+    durations = payload["kernel_durations_us"]
+    graph_label = payload["graph_label"]
+    if (
+        not isinstance(scheme, str)
+        or not (policy is None or isinstance(policy, str))
+        or not isinstance(arch_name, str)
+        or not isinstance(total_time_us, (int, float))
+        or isinstance(total_time_us, bool)
+        or not isinstance(total_wait_time_us, (int, float))
+        or isinstance(total_wait_time_us, bool)
+        or not isinstance(durations, list)
+        or not isinstance(graph_label, str)
+    ):
+        raise ValueError("result payload has wrong field types")
+    kernel_durations: List[Tuple[str, float]] = []
+    for pair in durations:
+        if (
+            not isinstance(pair, list)
+            or len(pair) != 2
+            or not isinstance(pair[0], str)
+            or not isinstance(pair[1], (int, float))
+            or isinstance(pair[1], bool)
+        ):
+            raise ValueError("kernel_durations_us entries must be [name, us] pairs")
+        kernel_durations.append((pair[0], float(pair[1])))
+    return SweepResult(
+        scheme=scheme,
+        policy=policy,
+        arch_name=arch_name,
+        total_time_us=float(total_time_us),
+        total_wait_time_us=float(total_wait_time_us),
+        kernel_durations_us=tuple(kernel_durations),
+        graph_label=graph_label,
+        cached=True,
+    )
+
+
+class ResultStore:
+    """Interface of a sweep-result store (disk-backed or fake).
+
+    ``get`` returns the stored :class:`SweepResult` for a key or ``None``
+    (misses include corrupt and version-mismatched entries — a store never
+    raises on bad data and never returns a result for a different key).
+    ``put`` persists a successful result and returns whether it was
+    accepted (failures and malformed values are rejected, not raised).
+    Implementations keep monotonic counters and report them via
+    :meth:`stats`.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt_entries: int = 0
+    ignored_versions: int = 0
+    rejected_writes: int = 0
+
+    def get(self, key: Tuple) -> Optional[SweepResult]:
+        raise NotImplementedError
+
+    def put(self, key: Tuple, result: SweepResult) -> bool:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "corrupt_entries": self.corrupt_entries,
+            "ignored_versions": self.ignored_versions,
+            "rejected_writes": self.rejected_writes,
+        }
+
+
+class SweepResultStore(ResultStore):
+    """The disk-backed store (see module docstring for the format)."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.corrupt_entries = 0
+        self.ignored_versions = 0
+        self.rejected_writes = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, key: Tuple) -> Path:
+        address = content_address(key)
+        return self.root / address[:2] / f"{address}.json"
+
+    def get(self, key: Tuple) -> Optional[SweepResult]:
+        try:
+            path = self._path(key)
+        except TypeError:
+            self.misses += 1
+            return None
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(raw)
+            version = entry["version"]
+            if version != STORE_VERSION:
+                self.ignored_versions += 1
+                self.misses += 1
+                return None
+            if entry["key"] != normalize_key(key):
+                raise ValueError("key echo mismatch")
+            result = decode_result(entry["result"])
+        except Exception:
+            self.corrupt_entries += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: Tuple, result: SweepResult) -> bool:
+        if not isinstance(result, SweepResult):
+            self.rejected_writes += 1
+            return False
+        try:
+            path = self._path(key)
+            entry = {
+                "version": STORE_VERSION,
+                "key": normalize_key(key),
+                "result": encode_result(result),
+            }
+            encoded = json.dumps(entry, separators=(",", ":")) + "\n"
+        except Exception:
+            self.rejected_writes += 1
+            return False
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: write the complete entry to a sibling temp
+            # file, then rename over the destination.  Readers see either
+            # the old entry or the new one, never a torn write.
+            descriptor, temp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=path.stem, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(descriptor, "w") as handle:
+                    handle.write(encoded)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.rejected_writes += 1
+            return False
+        self.writes += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def _entry_paths(self) -> Iterator[Path]:
+        if not self.root.exists():
+            return iter(())
+        return self.root.glob("??/*.json")
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entry_paths())
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

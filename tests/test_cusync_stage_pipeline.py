@@ -156,6 +156,21 @@ class TestPipeline:
         launches = pipeline.build_launches(GlobalMemory())
         assert [launch.name for launch in launches] == ["g1", "waitkernel_g2", "g2"]
 
+    def test_wait_kernel_polls_at_cost_model_granularity(self, small_arch, small_cost_model):
+        """The wait kernel's single busy-wait segment is duration-stepped:
+        it parks in the wake index but charges one poll per elapsed
+        ``wait_kernel_poll_us`` interval on resume."""
+        pipeline = self._mlp_pipeline(small_arch, small_cost_model, TileSync(), OptimizationFlags.none())
+        from repro.gpu.memory import GlobalMemory
+
+        launches = pipeline.build_launches(GlobalMemory())
+        wait_kernel = next(l for l in launches if l.name == "waitkernel_g2")
+        program = wait_kernel.program_builder(Dim3(0, 0, 0))
+        (segment,) = program.segments
+        assert segment.waits
+        assert segment.poll_interval_us == small_cost_model.wait_kernel_poll_us()
+        assert segment.duration_us == small_cost_model.wait_kernel_poll_us()
+
     def test_wait_kernel_elided_with_w(self, small_arch, small_cost_model):
         pipeline = self._mlp_pipeline(small_arch, small_cost_model, TileSync(), OptimizationFlags.wrt())
         from repro.gpu.memory import GlobalMemory

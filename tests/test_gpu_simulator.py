@@ -154,6 +154,76 @@ class TestFineGrainedSync:
         assert memory.semaphore_value("start", 0) == 1
 
 
+class TestPollAccounting:
+    """Duration-stepped poll accounting for busy-wait segments.
+
+    A segment with ``poll_interval_us`` set parks in the wake index like
+    any other waiter (woken exactly once) but back-charges the polls its
+    busy-wait loop would have issued — one per wait per elapsed
+    interval.  The charge must be accounting-only: times and traces are
+    identical with and without it.
+    """
+
+    def _run(self, arch, cost_model, producer_us, poll_interval):
+        memory = GlobalMemory()
+        memory.alloc_semaphores("sems", 1)
+
+        def producer_program(tile):
+            return ThreadBlockProgram(
+                tile=tile,
+                segments=[Segment(duration_us=producer_us, posts=[SemPost("sems", 0)])],
+            )
+
+        def waiter_program(tile):
+            return ThreadBlockProgram(
+                tile=tile,
+                segments=[
+                    Segment(
+                        duration_us=1.0,
+                        waits=[SemWait("sems", 0, 1)],
+                        poll_interval_us=poll_interval,
+                    )
+                ],
+            )
+
+        producer = KernelLaunch("producer", Dim3(1, 1, 1), producer_program, stream=Stream(name="p"))
+        waiter = KernelLaunch("waiter", Dim3(1, 1, 1), waiter_program, stream=Stream(name="w"))
+        result = GpuSimulator(arch, memory=memory, cost_model=cost_model).run([producer, waiter])
+        return result, memory
+
+    def test_stepped_polls_charged_per_interval(self, small_arch, small_cost_model):
+        baseline, baseline_memory = self._run(small_arch, small_cost_model, 40.0, 0.0)
+        stepped, stepped_memory = self._run(small_arch, small_cost_model, 40.0, 4.0)
+        waited = stepped.trace.total_wait_time_us()
+        assert waited > 0.0
+        expected_extra = int(waited / 4.0)
+        assert expected_extra > 0
+        assert (
+            stepped_memory.semaphore_reads
+            == baseline_memory.semaphore_reads + expected_extra
+        )
+
+    def test_poll_interval_is_timing_neutral(self, small_arch, small_cost_model):
+        baseline, _ = self._run(small_arch, small_cost_model, 40.0, 0.0)
+        stepped, _ = self._run(small_arch, small_cost_model, 40.0, 4.0)
+        assert stepped.total_time_us == baseline.total_time_us
+        assert stepped.trace.total_wait_time_us() == baseline.trace.total_wait_time_us()
+        for name in ("producer", "waiter"):
+            assert stepped.trace.kernels[name] == baseline.trace.kernels[name]
+
+    def test_interval_under_one_step_charges_nothing(self, small_arch, small_cost_model):
+        # An interval longer than the parked time rounds to zero whole
+        # polls: the stepped charge only counts *completed* spin
+        # iterations, so a short wait costs the same as interval 0.
+        baseline, baseline_memory = self._run(small_arch, small_cost_model, 40.0, 0.0)
+        waited = baseline.trace.total_wait_time_us()
+        assert waited > 0.0
+        stepped, stepped_memory = self._run(
+            small_arch, small_cost_model, 40.0, waited * 2.0
+        )
+        assert stepped_memory.semaphore_reads == baseline_memory.semaphore_reads
+
+
 class TestValidation:
     def test_duplicate_kernel_names_rejected(self, small_arch, small_cost_model):
         stream = Stream(name="s")

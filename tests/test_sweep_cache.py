@@ -97,13 +97,34 @@ class TestReplayIdentity:
 
 
 class TestCacheKeying:
-    def test_distinct_graph_objects_never_share_entries(self, workload):
-        """Two structurally identical graphs have distinct kernels; their
-        points must be simulated independently (results still agree because
-        the simulator is deterministic)."""
+    def test_rebuilt_equal_graphs_share_entries(self, workload):
+        """Structurally equal graphs share one entry: the cache keys on the
+        graph's structural fingerprint, so a rebuilt (distinct-object)
+        graph replays the first build's result bit-identically."""
         session = Session(arch=workload.arch)
         graph_a = workload.to_graph()
         graph_b = workload.to_graph()
+        assert graph_a.structural_fingerprint() == graph_b.structural_fingerprint()
+        point = SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
+        first = session.sweep([(graph_a, point)], mode="serial")[0]
+        second = session.sweep([(graph_b, point)], mode="serial")[0]
+        assert session.sweep_cache_misses == 1
+        assert session.sweep_cache_hits == 1
+        assert second.cached and not first.cached
+        assert second == first
+
+    def test_structurally_different_graphs_never_share_entries(self, workload):
+        """A different problem shape is a different fingerprint — no replay."""
+        other_workload = GptMlp(
+            config=TransformerConfig(
+                name="tiny-cache-b", hidden=512, layers=2, tensor_parallel=8
+            ),
+            batch_seq=96,
+        )
+        session = Session(arch=workload.arch)
+        graph_a = workload.to_graph()
+        graph_b = other_workload.to_graph()
+        assert graph_a.structural_fingerprint() != graph_b.structural_fingerprint()
         point = SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
         session.sweep([(graph_a, point)], mode="serial")
         session.sweep([(graph_b, point)], mode="serial")
@@ -160,9 +181,10 @@ class TestOptOut:
         disabled.sweep([(graph, point)], mode="serial", cache=True)
         assert disabled.sweep_cache_size == 1
 
-    def test_dead_graph_entries_are_evicted(self, workload):
-        """A garbage-collected graph's entries can never be hit again, so
-        they must not accumulate in long-lived sessions."""
+    def test_fingerprinted_entries_survive_graph_death(self, workload):
+        """Structurally keyed entries outlive their graph object: an equal
+        graph rebuilt later replays them, so transient rebuilds of one
+        workload cost exactly one simulation."""
         import gc
 
         session = Session(arch=workload.arch)
@@ -172,9 +194,45 @@ class TestOptOut:
             session.sweep([(transient, point)], mode="serial")
             del transient
             gc.collect()
+        assert session.sweep_cache_size == 1
+        assert session.sweep_cache_misses == 1
+        assert session.sweep_cache_hits == 2
+
+    def test_dead_unfingerprintable_graph_entries_are_evicted(self, workload):
+        """Graphs without a structural fingerprint (closure range maps) key
+        by per-process token; their entries can never be hit again once
+        the graph dies and must not accumulate in long-lived sessions."""
+        import gc
+
+        from repro.pipeline import Edge, PipelineGraph
+
+        def closure_graph():
+            base = workload.to_graph()
+            shift = 0  # captured: the range map below is a true closure
+            edges = [
+                Edge(
+                    edge.producer,
+                    edge.consumer,
+                    edge.tensor,
+                    range_map=lambda rows, cols, batch: (rows, cols, batch + shift),
+                )
+                for edge in base.edges
+            ]
+            graph = PipelineGraph(stages=base.stages, edges=edges)
+            assert graph.structural_fingerprint() is None
+            return graph
+
+        session = Session(arch=workload.arch)
+        point = SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
+        for _ in range(3):
+            transient = closure_graph()
+            session.sweep([(transient, point)], mode="serial")
+            del transient
+            gc.collect()
         assert session.sweep_cache_size == 0
-        # A graph that stays alive keeps its entry.
-        kept = workload.to_graph()
+        assert session.sweep_cache_misses == 3
+        # A token-keyed graph that stays alive keeps its entry.
+        kept = closure_graph()
         session.sweep([(kept, point)], mode="serial")
         gc.collect()
         assert session.sweep_cache_size == 1
