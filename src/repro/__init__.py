@@ -25,7 +25,11 @@ simulator (no GPU required):
   LLaMA, ResNet-38, VGG-19);
 * :mod:`repro.baselines` — StreamSync and Stream-K;
 * :mod:`repro.bench` — the experiment harness reproducing every table and
-  figure of the paper's evaluation.
+  figure of the paper's evaluation;
+* :mod:`repro.service` — the sweep service: content-addressed result
+  persistence plus an async, coalescing job layer;
+* :mod:`repro.serving` — request-level serving on the simulator:
+  open-loop traffic, continuous batching, latency-percentile reports.
 """
 
 from repro.errors import (
@@ -45,6 +49,7 @@ from repro.errors import (
     DslBoundsError,
     CodegenError,
     ModelConfigError,
+    ServingError,
 )
 
 __version__ = "1.0.0"
@@ -66,5 +71,6 @@ __all__ = [
     "DslBoundsError",
     "CodegenError",
     "ModelConfigError",
+    "ServingError",
     "__version__",
 ]

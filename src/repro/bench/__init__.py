@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     overhead_experiment,
     policy_ablation,
     arch_comparison,
+    serving_comparison,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "overhead_experiment",
     "policy_ablation",
     "arch_comparison",
+    "serving_comparison",
 ]

@@ -208,3 +208,13 @@ class CodegenError(ReproError):
 
 class ModelConfigError(ReproError):
     """An ML model configuration is inconsistent (shapes, parallelism)."""
+
+
+class ServingError(ReproError):
+    """A serving scenario is inconsistent (arrivals, budgets, admission).
+
+    Raised by :mod:`repro.serving` when a traffic description cannot be
+    realized: non-positive rates or token counts, an unsorted replay
+    trace, or a request whose KV footprint exceeds the batcher's budget
+    and therefore could never be admitted.
+    """

@@ -34,6 +34,7 @@ from repro.models.llama_mlp import LlamaMlp
 from repro.models.attention import Attention
 from repro.models.conv_layers import ConvChain
 from repro.models.inference import TransformerLayer, VisionModel, InferenceEstimate
+from repro.models.serving import ServingGraphCache, ServingLayer
 
 __all__ = [
     "TransformerConfig",
@@ -52,4 +53,6 @@ __all__ = [
     "TransformerLayer",
     "VisionModel",
     "InferenceEstimate",
+    "ServingGraphCache",
+    "ServingLayer",
 ]

@@ -945,6 +945,24 @@ class Session:
         return get_executor(scheme).run(graph, ctx)
 
     # ------------------------------------------------------------------
+    def sweep_point(
+        self,
+        graph: PipelineGraph,
+        point: SweepPoint,
+        cache: Optional[bool] = None,
+    ) -> SweepResult:
+        """Evaluate one ``(graph, point)`` through the sweep caches.
+
+        The single-point form of :meth:`sweep` (serial mode,
+        ``on_error="raise"``): repeated evaluations of the same trace key
+        replay from the in-memory cache (and the result store, when one
+        is attached) instead of re-simulating.  This is the hot call of
+        request-level serving loops (:mod:`repro.serving`), where most
+        iterations land on an already-simulated batch shape.
+        """
+        return self.sweep([(graph, point)], mode="serial", cache=cache)[0]
+
+    # ------------------------------------------------------------------
     def sweep(
         self,
         graph_or_work: Union[PipelineGraph, Iterable[Tuple[PipelineGraph, SweepPoint]]],

@@ -1,0 +1,235 @@
+"""Open-loop traffic: deterministic arrival processes emitting requests.
+
+An *open-loop* generator emits requests on its own schedule, regardless
+of whether the system has kept up — exactly the regime where queueing
+amplifies per-iteration latency differences into p99 blowups (a
+closed-loop client would politely slow down and hide them).
+
+Every process here is a frozen dataclass of primitives, which buys the
+two properties the serving determinism contract needs:
+
+* **Seeded determinism** — :meth:`ArrivalProcess.generate` is a pure
+  function of the process's fields: the same seed produces the identical
+  arrival sequence, and ``generate(n)`` is a prefix of ``generate(m)``
+  for ``n <= m`` (each call re-seeds a private RNG, so earlier calls
+  never perturb later ones).
+* **Pickle safety** — a process survives a pickle round-trip with its
+  sequence intact, so scenarios can cross process boundaries (worker
+  pools, the disk store's key canonicalization) without drift.
+
+Randomness uses :class:`random.Random` (Mersenne Twister), whose output
+for a given seed is specified and stable across platforms and Python
+versions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from random import Random
+from typing import Tuple, Union
+
+from repro.errors import ServingError
+
+__all__ = [
+    "InferenceRequest",
+    "ArrivalProcess",
+    "FixedRateArrivals",
+    "PoissonArrivals",
+    "TraceArrivals",
+    "TokenSpec",
+]
+
+#: A token count: fixed (``128``) or an inclusive ``(low, high)`` range
+#: sampled per request by the seeded processes.
+TokenSpec = Union[int, Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One inference request of an open-loop workload.
+
+    ``decode_tokens`` counts *output* tokens including the first one
+    (which the prefill iteration itself produces), so ``decode_tokens=1``
+    is a prompt-only request that completes at the end of its prefill.
+    """
+
+    request_id: int
+    arrival_us: float
+    prompt_tokens: int
+    decode_tokens: int
+
+    def __post_init__(self) -> None:
+        if self.arrival_us < 0.0:
+            raise ServingError(
+                f"request {self.request_id}: arrival_us must be non-negative, "
+                f"got {self.arrival_us}"
+            )
+        if self.prompt_tokens <= 0:
+            raise ServingError(
+                f"request {self.request_id}: prompt_tokens must be positive, "
+                f"got {self.prompt_tokens}"
+            )
+        if self.decode_tokens <= 0:
+            raise ServingError(
+                f"request {self.request_id}: decode_tokens must be positive, "
+                f"got {self.decode_tokens}"
+            )
+
+    @property
+    def total_tokens(self) -> int:
+        """Final KV-cache footprint: prompt plus every generated token."""
+        return self.prompt_tokens + self.decode_tokens
+
+
+def _check_token_spec(name: str, spec: TokenSpec) -> None:
+    if isinstance(spec, int):
+        if spec <= 0:
+            raise ServingError(f"{name} must be positive, got {spec}")
+        return
+    low, high = spec
+    if low <= 0 or high < low:
+        raise ServingError(
+            f"{name} range must satisfy 0 < low <= high, got ({low}, {high})"
+        )
+
+
+def _sample_tokens(rng: Random, spec: TokenSpec) -> int:
+    if isinstance(spec, int):
+        return spec
+    return rng.randint(spec[0], spec[1])
+
+
+class ArrivalProcess(ABC):
+    """A deterministic source of :class:`InferenceRequest` sequences."""
+
+    @abstractmethod
+    def generate(self, count: int) -> Tuple[InferenceRequest, ...]:
+        """The first ``count`` requests of the process's arrival sequence.
+
+        Deterministic in the process's fields, and prefix-stable:
+        ``generate(n) == generate(m)[:n]`` for ``n <= m``.
+        """
+
+    def _check_count(self, count: int) -> None:
+        if count <= 0:
+            raise ServingError(f"request count must be positive, got {count}")
+
+
+@dataclass(frozen=True)
+class FixedRateArrivals(ArrivalProcess):
+    """One request every ``interval_us`` of simulated time, fixed lengths."""
+
+    interval_us: float
+    prompt_tokens: int = 128
+    decode_tokens: int = 16
+    start_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.interval_us <= 0.0:
+            raise ServingError(f"interval_us must be positive, got {self.interval_us}")
+        if self.start_us < 0.0:
+            raise ServingError(f"start_us must be non-negative, got {self.start_us}")
+        _check_token_spec("prompt_tokens", self.prompt_tokens)
+        _check_token_spec("decode_tokens", self.decode_tokens)
+
+    def generate(self, count: int) -> Tuple[InferenceRequest, ...]:
+        self._check_count(count)
+        return tuple(
+            InferenceRequest(
+                request_id=index,
+                arrival_us=self.start_us + index * self.interval_us,
+                prompt_tokens=self.prompt_tokens,
+                decode_tokens=self.decode_tokens,
+            )
+            for index in range(count)
+        )
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Seeded Poisson arrivals: exponential gaps at ``rate_rps`` requests/s.
+
+    Prompt and decode lengths may be fixed ints or inclusive ``(low,
+    high)`` ranges sampled (uniformly) from the same seeded RNG as the
+    gaps, so one seed pins the entire workload — arrival times *and*
+    length mix.
+    """
+
+    rate_rps: float
+    prompt_tokens: TokenSpec = 128
+    decode_tokens: TokenSpec = 16
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0.0:
+            raise ServingError(f"rate_rps must be positive, got {self.rate_rps}")
+        _check_token_spec("prompt_tokens", self.prompt_tokens)
+        _check_token_spec("decode_tokens", self.decode_tokens)
+
+    def generate(self, count: int) -> Tuple[InferenceRequest, ...]:
+        self._check_count(count)
+        rng = Random(self.seed)
+        rate_per_us = self.rate_rps / 1e6
+        clock = 0.0
+        requests = []
+        for index in range(count):
+            clock += rng.expovariate(rate_per_us)
+            requests.append(
+                InferenceRequest(
+                    request_id=index,
+                    arrival_us=clock,
+                    prompt_tokens=_sample_tokens(rng, self.prompt_tokens),
+                    decode_tokens=_sample_tokens(rng, self.decode_tokens),
+                )
+            )
+        return tuple(requests)
+
+
+@dataclass(frozen=True)
+class TraceArrivals(ArrivalProcess):
+    """Replayed arrivals from an explicit trace.
+
+    Entries are ``(arrival_us, prompt_tokens, decode_tokens)`` tuples or
+    :class:`InferenceRequest` objects (e.g. the output of another
+    process's :meth:`~ArrivalProcess.generate`) — both normalize to
+    tuples, so two traces describing the same arrivals compare equal.
+    """
+
+    trace: Tuple[Tuple[float, int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.trace:
+            raise ServingError("TraceArrivals needs a non-empty trace")
+        normalized = tuple(
+            (entry.arrival_us, entry.prompt_tokens, entry.decode_tokens)
+            if isinstance(entry, InferenceRequest)
+            else tuple(entry)
+            for entry in self.trace
+        )
+        object.__setattr__(self, "trace", normalized)
+        previous = 0.0
+        for position, entry in enumerate(normalized):
+            arrival_us, _prompt, _decode = entry
+            if arrival_us < previous:
+                raise ServingError(
+                    f"trace entry {position} arrives at {arrival_us} before its "
+                    f"predecessor at {previous}; traces must be sorted by arrival"
+                )
+            previous = arrival_us
+
+    def generate(self, count: int) -> Tuple[InferenceRequest, ...]:
+        self._check_count(count)
+        if count > len(self.trace):
+            raise ServingError(
+                f"trace holds {len(self.trace)} requests but {count} were asked for"
+            )
+        return tuple(
+            InferenceRequest(
+                request_id=index,
+                arrival_us=float(arrival_us),
+                prompt_tokens=prompt,
+                decode_tokens=decode,
+            )
+            for index, (arrival_us, prompt, decode) in enumerate(self.trace[:count])
+        )

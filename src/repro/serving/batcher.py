@@ -1,0 +1,199 @@
+"""Continuous batching: iteration-level scheduling of admitted requests.
+
+The batcher implements Orca-style *continuous* (iteration-level)
+batching: instead of forming one batch and running it to completion, the
+scheduler re-plans every iteration — finished sequences are evicted
+immediately, and waiting requests are admitted as soon as slots and KV
+budget free up, joining the decode batch mid-flight.
+
+Planning rules (all deterministic):
+
+* **Prefill priority** — when any queued request is admissible, the next
+  iteration is a prefill of the admissible queue head(s); running
+  sequences wait one iteration.  This is the standard
+  prefill-prioritized discipline: it minimizes time-to-first-token at a
+  small cost to decode throughput.
+* **FIFO, head-of-line** — admission scans the queue in arrival order
+  and stops at the first request that does not fit (no reordering), so
+  latency is fair and the plan sequence is a pure function of the
+  arrival sequence.
+* **Budgets** — a request is admitted only when (1) the batch has a free
+  slot (``max_batch``), (2) its *final* KV footprint (prompt + every
+  decode token) fits the remaining ``max_kv_tokens`` budget — reserved
+  up front, so a running sequence never needs preemption — and (3) the
+  prefill batch stays under ``max_prefill_tokens`` (a lone oversized
+  prompt is always admissible by itself, otherwise it would starve).
+
+A prefill iteration produces each admitted request's **first** output
+token (its TTFT event); each decode iteration produces one further token
+for every running sequence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.common.validation import check_positive
+from repro.errors import ServingError
+from repro.serving.arrivals import InferenceRequest
+
+__all__ = ["BatchPlan", "ContinuousBatcher"]
+
+#: Iteration phases.
+PREFILL = "prefill"
+DECODE = "decode"
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """One scheduled iteration: which requests run and what shape they make.
+
+    ``rows`` is the flattened new-token count (the GEMM row dimension);
+    ``keys`` is the deepest attended context of the batch *after* this
+    iteration's token is produced (the KV depth the kernels see).
+    """
+
+    phase: str
+    request_ids: Tuple[int, ...]
+    rows: int
+    keys: int
+
+
+class _ActiveSequence:
+    """Bookkeeping of one admitted request: tokens generated so far."""
+
+    __slots__ = ("request", "generated")
+
+    def __init__(self, request: InferenceRequest) -> None:
+        self.request = request
+        self.generated = 0
+
+    @property
+    def context_after_next(self) -> int:
+        """KV depth once the next token is produced: prompt + generated + 1."""
+        return self.request.prompt_tokens + self.generated + 1
+
+    @property
+    def finished(self) -> bool:
+        return self.generated >= self.request.decode_tokens
+
+
+class ContinuousBatcher:
+    """Iteration-level scheduler packing requests under batch/KV budgets."""
+
+    def __init__(
+        self,
+        max_batch: int = 8,
+        max_kv_tokens: int = 8192,
+        max_prefill_tokens: int = 512,
+    ) -> None:
+        check_positive("max_batch", max_batch)
+        check_positive("max_kv_tokens", max_kv_tokens)
+        check_positive("max_prefill_tokens", max_prefill_tokens)
+        self.max_batch = max_batch
+        self.max_kv_tokens = max_kv_tokens
+        self.max_prefill_tokens = max_prefill_tokens
+        self._queue: Deque[InferenceRequest] = deque()
+        self._active: Dict[int, _ActiveSequence] = {}
+        #: KV tokens reserved by active sequences (final footprints).
+        self._kv_reserved = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    @property
+    def running(self) -> int:
+        return len(self._active)
+
+    @property
+    def kv_reserved(self) -> int:
+        return self._kv_reserved
+
+    @property
+    def idle(self) -> bool:
+        return not self._queue and not self._active
+
+    def enqueue(self, request: InferenceRequest) -> None:
+        """Admit ``request`` to the waiting queue (FIFO).
+
+        A request whose final KV footprint exceeds the whole budget could
+        never be scheduled and is rejected immediately.
+        """
+        if request.total_tokens > self.max_kv_tokens:
+            raise ServingError(
+                f"request {request.request_id} needs {request.total_tokens} KV "
+                f"tokens but the batcher budget is {self.max_kv_tokens}"
+            )
+        self._queue.append(request)
+
+    # ------------------------------------------------------------------
+    def next_plan(self) -> Optional[BatchPlan]:
+        """Schedule the next iteration, or ``None`` when nothing can run.
+
+        A returned prefill plan has already *admitted* its requests: they
+        move from the queue into the running set and their KV budget is
+        reserved.  Token progress happens later, in :meth:`advance`.
+        """
+        admitted = self._admit()
+        if admitted:
+            return BatchPlan(
+                phase=PREFILL,
+                request_ids=tuple(request.request_id for request in admitted),
+                rows=sum(request.prompt_tokens for request in admitted),
+                keys=max(request.prompt_tokens for request in admitted),
+            )
+        if self._active:
+            return BatchPlan(
+                phase=DECODE,
+                request_ids=tuple(self._active),
+                rows=len(self._active),
+                keys=max(
+                    sequence.context_after_next for sequence in self._active.values()
+                ),
+            )
+        return None
+
+    def _admit(self) -> Tuple[InferenceRequest, ...]:
+        admitted = []
+        prefill_tokens = 0
+        while self._queue and len(self._active) + len(admitted) < self.max_batch:
+            request = self._queue[0]
+            reserved = self._kv_reserved + sum(r.total_tokens for r in admitted)
+            if reserved + request.total_tokens > self.max_kv_tokens:
+                break
+            if admitted and prefill_tokens + request.prompt_tokens > self.max_prefill_tokens:
+                break
+            admitted.append(self._queue.popleft())
+            prefill_tokens += request.prompt_tokens
+        for request in admitted:
+            self._active[request.request_id] = _ActiveSequence(request)
+            self._kv_reserved += request.total_tokens
+        return tuple(admitted)
+
+    def advance(self, plan: BatchPlan) -> Tuple[int, ...]:
+        """Apply ``plan``'s token progress; return the ids that finished.
+
+        A prefill produces each admitted request's first token; a decode
+        produces one token per running sequence.  Finished sequences are
+        evicted and their KV reservation released.
+        """
+        if plan.phase not in (PREFILL, DECODE):
+            raise ServingError(f"unknown batch phase {plan.phase!r}")
+        finished = []
+        for request_id in plan.request_ids:
+            sequence = self._active.get(request_id)
+            if sequence is None:
+                raise ServingError(
+                    f"plan references request {request_id} which is not running"
+                )
+            sequence.generated += 1
+            if sequence.finished:
+                finished.append(request_id)
+        for request_id in finished:
+            sequence = self._active.pop(request_id)
+            self._kv_reserved -= sequence.request.total_tokens
+        return tuple(finished)

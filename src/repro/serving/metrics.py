@@ -1,0 +1,195 @@
+"""Latency metrics: exact percentiles, goodput, time-to-first-token.
+
+Percentiles are computed by **exact rank** over the full latency
+population — every request of a serving simulation is recorded, nothing
+is sampled or bucketed — using the same linear-interpolation definition
+as ``numpy.percentile``'s default method: for ``n`` sorted values, the
+``q``-th percentile sits at fractional rank ``(n - 1) * q / 100`` and
+interpolates linearly between the two neighbouring order statistics.
+The property suite pins this against the numpy reference.
+
+A :class:`LatencyReport` is a frozen value object: two bit-identical
+serving runs produce ``==`` reports (the determinism contract's
+assertable form), and :meth:`LatencyReport.to_dict` lowers one to plain
+JSON types for benchmark records.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ServingError
+
+__all__ = ["exact_percentile", "RequestRecord", "LatencyReport"]
+
+
+def exact_percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` by exact rank.
+
+    Matches ``numpy.percentile(values, q)`` (the default linear
+    interpolation): sort the population, place ``q`` at fractional rank
+    ``(len - 1) * q / 100``, interpolate between the bracketing order
+    statistics.  Exact at integer ranks — ``q=0`` is the minimum,
+    ``q=100`` the maximum, and a 101-value population needs no
+    interpolation at all.
+    """
+    if not values:
+        raise ServingError("exact_percentile needs a non-empty population")
+    if not 0.0 <= q <= 100.0:
+        raise ServingError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * (q / 100.0)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return float(ordered[low])
+    fraction = rank - low
+    return float(ordered[low] + (ordered[high] - ordered[low]) * fraction)
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Per-request latency decomposition of one served request.
+
+    All times are simulated microseconds.  ``queue_us`` spans arrival to
+    prefill start, ``prefill_us`` the prefill iteration itself (whose end
+    is the first-token event, so ``ttft_us = queue_us + prefill_us``),
+    ``decode_us`` the remaining decode iterations, and ``total_us`` the
+    whole arrival-to-completion span.
+    """
+
+    request_id: int
+    arrival_us: float
+    prompt_tokens: int
+    decode_tokens: int
+    queue_us: float
+    prefill_us: float
+    decode_us: float
+    total_us: float
+    ttft_us: float
+    finish_us: float
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Aggregate latency/goodput metrics of one serving simulation.
+
+    Percentiles are exact (see :func:`exact_percentile`) over the full
+    request population, which rides along in ``records`` so reports are
+    self-contained and comparable with ``==``.  ``goodput_rps`` counts
+    only requests whose total latency met ``slo_us``; with the default
+    infinite SLO it equals ``throughput_rps``.  The ``sweep_cache_*`` /
+    ``store_hits`` fields surface how much of the serving load the
+    :class:`~repro.pipeline.Session` caches absorbed — part of the
+    serving story, not a diagnostic afterthought.
+    """
+
+    scheme: str
+    policy: str
+    arch: str
+    requests: int
+    completed: int
+    simulated_us: float
+    iterations: int
+    prefill_iterations: int
+    decode_iterations: int
+    distinct_shapes: int
+    sweep_cache_hits: int
+    sweep_cache_misses: int
+    store_hits: int
+    slo_us: float
+    p50_total_us: float
+    p90_total_us: float
+    p99_total_us: float
+    mean_total_us: float
+    p50_ttft_us: float
+    p99_ttft_us: float
+    throughput_rps: float
+    goodput_rps: float
+    tokens_per_s: float
+    records: Tuple[RequestRecord, ...]
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[RequestRecord],
+        *,
+        scheme: str,
+        policy: str,
+        arch: str,
+        requests: int,
+        simulated_us: float,
+        iterations: int,
+        prefill_iterations: int,
+        decode_iterations: int,
+        distinct_shapes: int,
+        sweep_cache_hits: int,
+        sweep_cache_misses: int,
+        store_hits: int,
+        slo_us: float = math.inf,
+    ) -> "LatencyReport":
+        if not records:
+            raise ServingError("a LatencyReport needs at least one completed request")
+        if simulated_us <= 0.0:
+            raise ServingError(f"simulated_us must be positive, got {simulated_us}")
+        totals = [record.total_us for record in records]
+        ttfts = [record.ttft_us for record in records]
+        seconds = simulated_us / 1e6
+        within_slo = sum(1 for total in totals if total <= slo_us)
+        tokens = sum(record.prompt_tokens + record.decode_tokens for record in records)
+        return cls(
+            scheme=scheme,
+            policy=policy,
+            arch=arch,
+            requests=requests,
+            completed=len(records),
+            simulated_us=simulated_us,
+            iterations=iterations,
+            prefill_iterations=prefill_iterations,
+            decode_iterations=decode_iterations,
+            distinct_shapes=distinct_shapes,
+            sweep_cache_hits=sweep_cache_hits,
+            sweep_cache_misses=sweep_cache_misses,
+            store_hits=store_hits,
+            slo_us=slo_us,
+            p50_total_us=exact_percentile(totals, 50.0),
+            p90_total_us=exact_percentile(totals, 90.0),
+            p99_total_us=exact_percentile(totals, 99.0),
+            mean_total_us=sum(totals) / len(totals),
+            p50_ttft_us=exact_percentile(ttfts, 50.0),
+            p99_ttft_us=exact_percentile(ttfts, 99.0),
+            throughput_rps=len(records) / seconds,
+            goodput_rps=within_slo / seconds,
+            tokens_per_s=tokens / seconds,
+            records=tuple(records),
+        )
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """The aggregate metrics without the per-request population."""
+        skip = {"records"}
+        out: Dict[str, object] = {}
+        for spec in fields(self):
+            if spec.name in skip:
+                continue
+            value = getattr(self, spec.name)
+            if isinstance(value, float) and math.isinf(value):
+                value = None  # JSON has no Infinity
+            out[spec.name] = value
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        """The full report as plain JSON types (records included)."""
+        out = self.summary()
+        out["records"] = [asdict(record) for record in self.records]
+        return out
+
+    def describe(self) -> str:
+        return (
+            f"{self.scheme}@{self.arch}: p50 {self.p50_total_us:.0f}us, "
+            f"p99 {self.p99_total_us:.0f}us, ttft p50 {self.p50_ttft_us:.0f}us, "
+            f"goodput {self.goodput_rps:.1f} req/s "
+            f"({self.completed}/{self.requests} in {self.simulated_us / 1e6:.3f}s)"
+        )

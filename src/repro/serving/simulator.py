@@ -1,0 +1,249 @@
+"""The virtual-time serving loop: arrivals -> batches -> simulated GPU time.
+
+:class:`ServingSimulator` advances a virtual clock through an open-loop
+serving scenario.  Each cycle it admits every request that has arrived,
+asks the :class:`~repro.serving.batcher.ContinuousBatcher` for the next
+iteration plan, materializes the plan's bucketed batch shape as a
+transformer-layer :class:`~repro.pipeline.PipelineGraph`
+(:class:`~repro.models.serving.ServingGraphCache`), and charges the
+iteration the **simulated** GPU time of running that graph under the
+scenario's scheme — obtained through
+:meth:`~repro.pipeline.Session.sweep_point`, so a repeated batch shape
+replays from the session's sweep cache (and the disk store, when one is
+attached) instead of re-simulating.  An idle system jumps the clock to
+the next arrival.
+
+Everything is deterministic for a given scenario: seeded arrivals, FIFO
+admission, deterministic simulation.  Two runs with the same scenario
+and scheme produce ``==`` :class:`~repro.serving.metrics.LatencyReport`
+objects — the serving determinism contract, asserted in the test suite
+and gateable in CI.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ServingError
+from repro.gpu.arch import ArchLike, TESLA_V100, resolve_arch
+from repro.models.config import GPT3_145B, TransformerConfig
+from repro.models.serving import ServingGraphCache
+from repro.pipeline.session import Session, SweepPoint, SweepPolicy
+from repro.serving.arrivals import ArrivalProcess, InferenceRequest
+from repro.serving.batcher import BatchPlan, ContinuousBatcher, PREFILL
+from repro.serving.metrics import LatencyReport, RequestRecord
+
+__all__ = ["ServingScenario", "ServingSimulator", "compare_schemes"]
+
+
+@dataclass(frozen=True)
+class ServingScenario:
+    """One complete open-loop serving experiment description.
+
+    A scenario is pure data: the traffic (``arrivals`` + ``requests``),
+    the model shape, the batcher budgets, the shape buckets the graph
+    cache uses, a per-iteration scheduling overhead, and the latency SLO
+    that defines goodput.  The same scenario object can be run under
+    every scheme/arch for an apples-to-apples comparison.
+    """
+
+    arrivals: ArrivalProcess
+    requests: int
+    config: TransformerConfig = GPT3_145B
+    max_batch: int = 8
+    max_kv_tokens: int = 8192
+    max_prefill_tokens: int = 512
+    row_bucket: int = 8
+    kv_bucket: int = 64
+    #: Fixed scheduling/launch overhead charged per iteration, in
+    #: simulated microseconds (CPU-side batching work the GPU graph does
+    #: not model).
+    iteration_overhead_us: float = 0.0
+    #: Total-latency SLO defining goodput; infinite = goodput==throughput.
+    slo_us: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.requests <= 0:
+            raise ServingError(f"requests must be positive, got {self.requests}")
+        if self.iteration_overhead_us < 0.0:
+            raise ServingError(
+                f"iteration_overhead_us must be non-negative, "
+                f"got {self.iteration_overhead_us}"
+            )
+        if self.slo_us <= 0.0:
+            raise ServingError(f"slo_us must be positive, got {self.slo_us}")
+
+
+class _RequestTiming:
+    """Mutable per-request event times collected during the loop."""
+
+    __slots__ = ("request", "prefill_start_us", "prefill_end_us", "finish_us")
+
+    def __init__(self, request: InferenceRequest) -> None:
+        self.request = request
+        self.prefill_start_us = -1.0
+        self.prefill_end_us = -1.0
+        self.finish_us = -1.0
+
+    def record(self) -> RequestRecord:
+        request = self.request
+        return RequestRecord(
+            request_id=request.request_id,
+            arrival_us=request.arrival_us,
+            prompt_tokens=request.prompt_tokens,
+            decode_tokens=request.decode_tokens,
+            queue_us=self.prefill_start_us - request.arrival_us,
+            prefill_us=self.prefill_end_us - self.prefill_start_us,
+            decode_us=self.finish_us - self.prefill_end_us,
+            total_us=self.finish_us - request.arrival_us,
+            ttft_us=self.prefill_end_us - request.arrival_us,
+            finish_us=self.finish_us,
+        )
+
+
+class ServingSimulator:
+    """Run open-loop serving scenarios on the simulated GPU.
+
+    One simulator binds an execution configuration — scheme, policy,
+    architecture — and a :class:`~repro.pipeline.Session` whose sweep
+    cache persists across :meth:`run` calls (pass ``session=`` to share
+    one, e.g. with a ``result_store`` attached for cross-process reuse).
+    """
+
+    def __init__(
+        self,
+        scheme: str = "cusync",
+        policy: SweepPolicy = "TileSync",
+        arch: ArchLike = TESLA_V100,
+        session: Optional[Session] = None,
+    ) -> None:
+        self.scheme = scheme
+        #: Non-cusync schemes have no policy axis.
+        self.policy = policy if scheme == "cusync" else None
+        self.arch = resolve_arch(arch)
+        self.session = session if session is not None else Session(arch=arch)
+
+    # ------------------------------------------------------------------
+    def run(self, scenario: ServingScenario) -> LatencyReport:
+        """Simulate ``scenario`` to completion and report latencies."""
+        requests = scenario.arrivals.generate(scenario.requests)
+        batcher = ContinuousBatcher(
+            max_batch=scenario.max_batch,
+            max_kv_tokens=scenario.max_kv_tokens,
+            max_prefill_tokens=scenario.max_prefill_tokens,
+        )
+        graphs = ServingGraphCache(
+            config=scenario.config,
+            arch=self.arch,
+            row_bucket=scenario.row_bucket,
+            kv_bucket=scenario.kv_bucket,
+        )
+        timings: Dict[int, _RequestTiming] = {
+            request.request_id: _RequestTiming(request) for request in requests
+        }
+        cache_hits_before = self.session.sweep_cache_hits
+        cache_misses_before = self.session.sweep_cache_misses
+        store_hits_before = self.session.sweep_store_hits
+
+        pending: List[InferenceRequest] = sorted(
+            requests, key=lambda request: (request.arrival_us, request.request_id)
+        )
+        next_arrival = 0
+        clock = 0.0
+        completed = 0
+        iterations = prefill_iterations = decode_iterations = 0
+        records: List[RequestRecord] = []
+
+        while completed < len(requests):
+            while (
+                next_arrival < len(pending)
+                and pending[next_arrival].arrival_us <= clock
+            ):
+                batcher.enqueue(pending[next_arrival])
+                next_arrival += 1
+            plan = batcher.next_plan()
+            if plan is None:
+                if next_arrival >= len(pending):
+                    raise ServingError(
+                        "serving loop stalled: nothing runnable and no "
+                        "arrivals left (batcher invariant violated)"
+                    )
+                # Idle: jump the virtual clock to the next arrival.
+                clock = max(clock, pending[next_arrival].arrival_us)
+                continue
+            duration_us = self._iteration_time_us(graphs, plan, scenario)
+            start_us = clock
+            clock += duration_us
+            iterations += 1
+            if plan.phase == PREFILL:
+                prefill_iterations += 1
+                for request_id in plan.request_ids:
+                    timing = timings[request_id]
+                    timing.prefill_start_us = start_us
+                    timing.prefill_end_us = clock
+            else:
+                decode_iterations += 1
+            for request_id in batcher.advance(plan):
+                timing = timings[request_id]
+                timing.finish_us = clock
+                records.append(timing.record())
+                completed += 1
+
+        records.sort(key=lambda record: record.request_id)
+        policy_label = "" if self.policy is None else (
+            self.policy if isinstance(self.policy, str) else self.policy.label()
+        )
+        return LatencyReport.from_records(
+            records,
+            scheme=self.scheme,
+            policy=policy_label,
+            arch=self.arch.name,
+            requests=len(requests),
+            simulated_us=clock,
+            iterations=iterations,
+            prefill_iterations=prefill_iterations,
+            decode_iterations=decode_iterations,
+            distinct_shapes=graphs.distinct_shapes,
+            sweep_cache_hits=self.session.sweep_cache_hits - cache_hits_before,
+            sweep_cache_misses=self.session.sweep_cache_misses - cache_misses_before,
+            store_hits=self.session.sweep_store_hits - store_hits_before,
+            slo_us=scenario.slo_us,
+        )
+
+    def _iteration_time_us(
+        self,
+        graphs: ServingGraphCache,
+        plan: BatchPlan,
+        scenario: ServingScenario,
+    ) -> float:
+        graph = graphs.graph_for(plan.rows, plan.keys)
+        result = self.session.sweep_point(graph, SweepPoint(
+            scheme=self.scheme, policy=self.policy, arch=self.arch,
+        ))
+        return result.total_time_us + scenario.iteration_overhead_us
+
+
+def compare_schemes(
+    scenario: ServingScenario,
+    schemes: Sequence[str] = ("streamsync", "streamk", "cusync"),
+    policy: SweepPolicy = "TileSync",
+    arch: ArchLike = TESLA_V100,
+    session: Optional[Session] = None,
+) -> Dict[str, LatencyReport]:
+    """Run ``scenario`` under every scheme and collect the reports.
+
+    All schemes share one :class:`~repro.pipeline.Session` (pass your own
+    to persist its caches further), so the per-scheme cache hit counts in
+    the reports tell the serving-cache story of each scheme's run alone —
+    trace keys include the scheme, so schemes never share entries.
+    """
+    shared = session if session is not None else Session(arch=arch)
+    reports: Dict[str, LatencyReport] = {}
+    for scheme in schemes:
+        simulator = ServingSimulator(
+            scheme=scheme, policy=policy, arch=arch, session=shared
+        )
+        reports[scheme] = simulator.run(scenario)
+    return reports

@@ -1,0 +1,148 @@
+"""Tests for open-loop arrival processes (:mod:`repro.serving.arrivals`).
+
+The serving determinism contract starts here: a seeded arrival process
+must produce bit-identical request streams across calls, across fresh
+instances, and across pickle round-trips (the property suite drives the
+latter two), and longer generations must extend shorter ones
+(prefix stability), so growing a scenario never rewrites history.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ServingError
+from repro.serving import (
+    FixedRateArrivals,
+    InferenceRequest,
+    PoissonArrivals,
+    TraceArrivals,
+)
+
+
+class TestInferenceRequest:
+    def test_total_tokens_is_final_kv_footprint(self):
+        request = InferenceRequest(
+            request_id=0, arrival_us=0.0, prompt_tokens=100, decode_tokens=16
+        )
+        assert request.total_tokens == 116
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(prompt_tokens=0, decode_tokens=4),
+            dict(prompt_tokens=8, decode_tokens=0),
+            dict(arrival_us=-1.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, kwargs):
+        base = dict(request_id=0, arrival_us=0.0, prompt_tokens=8, decode_tokens=4)
+        base.update(kwargs)
+        with pytest.raises(ServingError):
+            InferenceRequest(**base)
+
+
+class TestPoissonDeterminism:
+    def test_same_seed_same_stream(self):
+        a = PoissonArrivals(rate_rps=500.0, prompt_tokens=(8, 64), seed=11)
+        b = PoissonArrivals(rate_rps=500.0, prompt_tokens=(8, 64), seed=11)
+        assert a.generate(50) == b.generate(50)
+
+    def test_different_seed_different_stream(self):
+        a = PoissonArrivals(rate_rps=500.0, seed=1)
+        b = PoissonArrivals(rate_rps=500.0, seed=2)
+        assert a.generate(20) != b.generate(20)
+
+    def test_prefix_stability(self):
+        process = PoissonArrivals(
+            rate_rps=300.0, prompt_tokens=(8, 64), decode_tokens=(2, 12), seed=5
+        )
+        assert process.generate(30)[:10] == process.generate(10)
+
+    def test_repeated_calls_identical(self):
+        process = PoissonArrivals(rate_rps=100.0, seed=3)
+        assert process.generate(25) == process.generate(25)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        rate=st.floats(min_value=1.0, max_value=1e5),
+        count=st.integers(min_value=1, max_value=40),
+    )
+    def test_pickle_roundtrip_preserves_stream(self, seed, rate, count):
+        process = PoissonArrivals(
+            rate_rps=rate, prompt_tokens=(4, 128), decode_tokens=(1, 16), seed=seed
+        )
+        clone = pickle.loads(pickle.dumps(process))
+        assert clone.generate(count) == process.generate(count)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_arrivals_sorted_and_lengths_in_range(self, seed):
+        process = PoissonArrivals(
+            rate_rps=200.0, prompt_tokens=(8, 64), decode_tokens=(2, 12), seed=seed
+        )
+        requests = process.generate(30)
+        arrivals = [request.arrival_us for request in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(8 <= r.prompt_tokens <= 64 for r in requests)
+        assert all(2 <= r.decode_tokens <= 12 for r in requests)
+        assert [r.request_id for r in requests] == list(range(30))
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ServingError):
+            PoissonArrivals(rate_rps=0.0)
+
+    def test_invalid_token_range_rejected(self):
+        with pytest.raises(ServingError):
+            PoissonArrivals(rate_rps=1.0, prompt_tokens=(64, 8))
+
+
+class TestFixedRateArrivals:
+    def test_even_spacing(self):
+        process = FixedRateArrivals(
+            interval_us=250.0, prompt_tokens=32, decode_tokens=4, start_us=100.0
+        )
+        requests = process.generate(4)
+        assert [r.arrival_us for r in requests] == [100.0, 350.0, 600.0, 850.0]
+        assert all(r.prompt_tokens == 32 and r.decode_tokens == 4 for r in requests)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ServingError):
+            FixedRateArrivals(interval_us=0.0)
+
+
+class TestTraceArrivals:
+    def test_replays_tuples(self):
+        trace = TraceArrivals(((0.0, 16, 2), (10.0, 32, 4), (10.0, 8, 1)))
+        requests = trace.generate(3)
+        assert [r.prompt_tokens for r in requests] == [16, 32, 8]
+        assert [r.request_id for r in requests] == [0, 1, 2]
+
+    def test_accepts_inference_requests(self):
+        source = PoissonArrivals(rate_rps=100.0, seed=9)
+        requests = source.generate(5)
+        assert TraceArrivals(requests).generate(5) == requests
+
+    def test_request_and_tuple_traces_compare_equal(self):
+        requests = PoissonArrivals(rate_rps=100.0, seed=9).generate(4)
+        as_tuples = tuple(
+            (r.arrival_us, r.prompt_tokens, r.decode_tokens) for r in requests
+        )
+        assert TraceArrivals(requests) == TraceArrivals(as_tuples)
+
+    def test_unsorted_trace_rejected(self):
+        with pytest.raises(ServingError):
+            TraceArrivals(((10.0, 16, 2), (5.0, 16, 2)))
+
+    def test_overdraw_rejected(self):
+        trace = TraceArrivals(((0.0, 16, 2),))
+        with pytest.raises(ServingError):
+            trace.generate(2)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ServingError):
+            TraceArrivals(())

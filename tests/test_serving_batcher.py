@@ -1,0 +1,142 @@
+"""Tests for the continuous batcher (:mod:`repro.serving.batcher`).
+
+Pins the scheduling discipline the simulator's determinism rests on:
+prefill-prioritized FIFO admission with head-of-line blocking, final-KV
+reservation at admission time, immediate eviction of finished
+sequences, and the batch-shape arithmetic (``rows``/``keys``) that the
+graph cache buckets.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import ContinuousBatcher, InferenceRequest
+from repro.serving.batcher import DECODE, PREFILL
+
+
+def request(request_id, prompt=16, decode=2, arrival=0.0):
+    return InferenceRequest(
+        request_id=request_id,
+        arrival_us=arrival,
+        prompt_tokens=prompt,
+        decode_tokens=decode,
+    )
+
+
+class TestAdmission:
+    def test_prefill_batches_queue_head_fifo(self):
+        batcher = ContinuousBatcher(max_batch=4, max_kv_tokens=4096)
+        for i in range(3):
+            batcher.enqueue(request(i, prompt=32))
+        plan = batcher.next_plan()
+        assert plan.phase == PREFILL
+        assert plan.request_ids == (0, 1, 2)
+        assert plan.rows == 96  # flattened prompts
+        assert plan.keys == 32  # deepest context
+
+    def test_max_batch_caps_admission(self):
+        batcher = ContinuousBatcher(max_batch=2, max_kv_tokens=4096)
+        for i in range(5):
+            batcher.enqueue(request(i))
+        plan = batcher.next_plan()
+        assert plan.request_ids == (0, 1)
+        assert batcher.queued == 3
+
+    def test_kv_budget_blocks_head_of_line(self):
+        batcher = ContinuousBatcher(max_batch=8, max_kv_tokens=100)
+        batcher.enqueue(request(0, prompt=60, decode=2))  # footprint 62
+        batcher.enqueue(request(1, prompt=60, decode=2))  # would overflow
+        batcher.enqueue(request(2, prompt=10, decode=2))  # fits, but behind 1
+        plan = batcher.next_plan()
+        assert plan.request_ids == (0,)  # no reordering past the blocked head
+        assert batcher.kv_reserved == 62
+        assert batcher.queued == 2
+
+    def test_prefill_token_cap_splits_batches(self):
+        batcher = ContinuousBatcher(
+            max_batch=8, max_kv_tokens=8192, max_prefill_tokens=100
+        )
+        for i in range(3):
+            batcher.enqueue(request(i, prompt=60))
+        plan = batcher.next_plan()
+        assert plan.request_ids == (0,)  # 60 + 60 > 100
+
+    def test_lone_oversized_prompt_admissible(self):
+        batcher = ContinuousBatcher(
+            max_batch=8, max_kv_tokens=8192, max_prefill_tokens=100
+        )
+        batcher.enqueue(request(0, prompt=300))
+        plan = batcher.next_plan()
+        assert plan.phase == PREFILL
+        assert plan.request_ids == (0,)
+        assert plan.rows == 300
+
+    def test_request_larger_than_whole_budget_rejected(self):
+        batcher = ContinuousBatcher(max_kv_tokens=64)
+        with pytest.raises(ServingError):
+            batcher.enqueue(request(0, prompt=63, decode=2))
+
+
+class TestIterationProgress:
+    def test_decode_shape_tracks_deepest_context(self):
+        batcher = ContinuousBatcher(max_batch=4, max_kv_tokens=4096)
+        batcher.enqueue(request(0, prompt=10, decode=3))
+        batcher.enqueue(request(1, prompt=20, decode=3))
+        prefill = batcher.next_plan()
+        batcher.advance(prefill)  # first token of each
+        decode = batcher.next_plan()
+        assert decode.phase == DECODE
+        assert decode.rows == 2
+        assert decode.keys == 22  # 20 + 1 generated + 1 next
+
+    def test_finished_sequences_evicted_and_budget_released(self):
+        batcher = ContinuousBatcher(max_batch=4, max_kv_tokens=4096)
+        batcher.enqueue(request(0, prompt=10, decode=1))
+        batcher.enqueue(request(1, prompt=10, decode=3))
+        prefill = batcher.next_plan()
+        finished = batcher.advance(prefill)
+        assert finished == (0,)  # decode=1: prefill's token completes it
+        assert batcher.running == 1
+        assert batcher.kv_reserved == 13  # only request 1's footprint
+
+    def test_late_arrival_joins_midflight(self):
+        batcher = ContinuousBatcher(max_batch=4, max_kv_tokens=4096)
+        batcher.enqueue(request(0, prompt=10, decode=4))
+        batcher.advance(batcher.next_plan())  # prefill request 0
+        batcher.enqueue(request(1, prompt=12, decode=2))
+        plan = batcher.next_plan()
+        assert plan.phase == PREFILL  # prefill priority over running decode
+        assert plan.request_ids == (1,)
+        batcher.advance(plan)
+        decode = batcher.next_plan()
+        assert set(decode.request_ids) == {0, 1}
+
+    def test_runs_to_completion(self):
+        batcher = ContinuousBatcher(max_batch=2, max_kv_tokens=256)
+        for i in range(4):
+            batcher.enqueue(request(i, prompt=8, decode=3))
+        done = []
+        for _ in range(64):
+            plan = batcher.next_plan()
+            if plan is None:
+                break
+            done.extend(batcher.advance(plan))
+        assert sorted(done) == [0, 1, 2, 3]
+        assert batcher.idle
+        assert batcher.kv_reserved == 0
+
+    def test_advance_unknown_request_rejected(self):
+        from repro.serving import BatchPlan
+
+        batcher = ContinuousBatcher()
+        with pytest.raises(ServingError):
+            batcher.advance(BatchPlan(phase=DECODE, request_ids=(7,), rows=1, keys=8))
+
+    def test_idle_batcher_plans_nothing(self):
+        assert ContinuousBatcher().next_plan() is None
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(Exception):
+            ContinuousBatcher(max_batch=0)

@@ -1,0 +1,139 @@
+"""Tests for latency metrics (:mod:`repro.serving.metrics`).
+
+``exact_percentile`` is pinned against ``numpy.percentile`` (default
+linear interpolation) with a hypothesis property — the serving reports'
+p50/p90/p99 numbers must mean exactly what numpy would say.  The report
+aggregation (goodput under an SLO, throughput, token rates) is checked
+on hand-computable populations.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ServingError
+from repro.serving import LatencyReport, RequestRecord, exact_percentile
+
+
+class TestExactPercentile:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+            ),
+            min_size=1,
+            max_size=200,
+        ),
+        q=st.floats(min_value=0.0, max_value=100.0),
+    )
+    def test_matches_numpy_linear_interpolation(self, values, q):
+        ours = exact_percentile(values, q)
+        theirs = float(np.percentile(values, q))
+        assert ours == pytest.approx(theirs, rel=1e-12, abs=1e-9)
+
+    def test_endpoints_are_min_and_max(self):
+        values = [9.0, 1.0, 5.0]
+        assert exact_percentile(values, 0.0) == 1.0
+        assert exact_percentile(values, 100.0) == 9.0
+
+    def test_median_of_even_population_interpolates(self):
+        assert exact_percentile([1.0, 2.0, 3.0, 4.0], 50.0) == 2.5
+
+    def test_single_value_population(self):
+        assert exact_percentile([42.0], 99.0) == 42.0
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ServingError):
+            exact_percentile([], 50.0)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ServingError):
+            exact_percentile([1.0], 101.0)
+
+
+def record(request_id, total_us, ttft_us=None, prompt=16, decode=4):
+    ttft = total_us / 2 if ttft_us is None else ttft_us
+    return RequestRecord(
+        request_id=request_id,
+        arrival_us=0.0,
+        prompt_tokens=prompt,
+        decode_tokens=decode,
+        queue_us=0.0,
+        prefill_us=ttft,
+        decode_us=total_us - ttft,
+        total_us=total_us,
+        ttft_us=ttft,
+        finish_us=total_us,
+    )
+
+
+def make_report(records, simulated_us=1e6, slo_us=math.inf):
+    return LatencyReport.from_records(
+        records,
+        scheme="cusync",
+        policy="TileSync",
+        arch="V100",
+        requests=len(records),
+        simulated_us=simulated_us,
+        iterations=10,
+        prefill_iterations=4,
+        decode_iterations=6,
+        distinct_shapes=3,
+        sweep_cache_hits=7,
+        sweep_cache_misses=3,
+        store_hits=0,
+        slo_us=slo_us,
+    )
+
+
+class TestLatencyReport:
+    def test_aggregates_hand_computed(self):
+        records = [record(i, total_us=float(100 * (i + 1))) for i in range(4)]
+        report = make_report(records, simulated_us=2e6)
+        assert report.p50_total_us == 250.0  # midpoint of 200 and 300
+        assert report.mean_total_us == 250.0
+        assert report.throughput_rps == 2.0  # 4 requests / 2 seconds
+        assert report.goodput_rps == report.throughput_rps  # infinite SLO
+        assert report.tokens_per_s == 4 * 20 / 2.0
+
+    def test_goodput_counts_only_within_slo(self):
+        records = [record(i, total_us=float(100 * (i + 1))) for i in range(4)]
+        report = make_report(records, simulated_us=1e6, slo_us=250.0)
+        assert report.goodput_rps == 2.0  # 100 and 200 meet the SLO
+        assert report.throughput_rps == 4.0
+
+    def test_reports_compare_equal_when_identical(self):
+        records = [record(0, 100.0), record(1, 200.0)]
+        assert make_report(records) == make_report(list(records))
+
+    def test_summary_drops_records_and_infinities(self):
+        report = make_report([record(0, 100.0)])
+        summary = report.summary()
+        assert "records" not in summary
+        assert summary["slo_us"] is None  # inf -> None for JSON
+        json.dumps(summary)  # must be serializable as-is
+
+    def test_to_dict_roundtrips_through_json(self):
+        report = make_report([record(0, 100.0), record(1, 300.0)])
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["completed"] == 2
+        assert len(payload["records"]) == 2
+        assert payload["records"][1]["total_us"] == 300.0
+
+    def test_describe_mentions_scheme_and_percentiles(self):
+        text = make_report([record(0, 100.0)]).describe()
+        assert "cusync" in text and "p99" in text
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ServingError):
+            make_report([])
+
+    def test_nonpositive_simulated_time_rejected(self):
+        with pytest.raises(ServingError):
+            make_report([record(0, 100.0)], simulated_us=0.0)
