@@ -24,6 +24,8 @@ JSON schema (see also benchmarks/README.md):
 
 * ``arches`` — the architecture axis the rows cover, in sweep order;
 * ``elapsed_s`` — wall time of the full experiment (the gated quantity);
+* ``tuned`` — MLP tile configs resolved per arch from the committed
+  ``TUNED_CONFIGS.json`` (see ``docs/autotune.md``);
 * ``rows`` — one entry per (workload, arch, policy):
   ``{workload, arch, policy, total_time_us, wait_time_us, improvement,
   best}`` where ``improvement`` is the fractional reduction vs the same
@@ -62,7 +64,10 @@ def run_experiment(smoke: bool = False) -> Dict[str, object]:
     kwargs = dict(batch_seq=128, seq=128, conv_channels=64) if smoke else {}
     cache_stats: Dict[str, object] = {}
     start = time.perf_counter()
-    rows = arch_comparison(arches=arches, cache_stats=cache_stats, **kwargs)
+    # tuned=True: MLP tile configs resolve per arch from the committed
+    # TUNED_CONFIGS.json (V100 keeps the paper's Table-IV grids).  The
+    # smoke shapes have no tuned entries and fall back to the defaults.
+    rows = arch_comparison(arches=arches, cache_stats=cache_stats, tuned=True, **kwargs)
     elapsed = time.perf_counter() - start
     # ``elapsed_s`` covers the full experiment including the cached replay
     # of the grid (arch_comparison re-sweeps the same work list to measure
@@ -73,6 +78,7 @@ def run_experiment(smoke: bool = False) -> Dict[str, object]:
     return {
         "arches": [resolve_arch(arch).name for arch in arches],
         "elapsed_s": elapsed,
+        "tuned": True,
         "sweep_cache": cache_stats,
         "rows": rows,
     }

@@ -465,6 +465,7 @@ def arch_comparison(
     include_end_to_end: bool = True,
     mode: str = "thread",
     cache_stats: Optional[Dict[str, object]] = None,
+    tuned: bool = False,
 ) -> List[Dict[str, object]]:
     """Reproduce the paper's speedup story per GPU architecture.
 
@@ -496,6 +497,16 @@ def arch_comparison(
     replayed results matched the fresh ones bit for bit, ignoring the
     ``cached`` flag).  This is the regeneration scenario (re-deriving
     figure variants from one grid) that the cache exists for.
+
+    ``tuned=True`` resolves the MLP workloads' tile configurations from
+    the committed tuned-config table (``TUNED_CONFIGS.json``) **per
+    architecture** instead of reusing the V100-tuned grids everywhere:
+    each MLP gets one graph per arch (built with that arch's tuned tiles,
+    swept only on that arch, StreamSync baseline included so improvements
+    stay same-graph-same-arch), while the remaining workloads keep one
+    shared graph across the arch axis.  Row keys are unchanged — the
+    per-arch graphs report under the workload's base name — so tuned and
+    untuned records are row-for-row comparable.
     """
     from repro.gpu.arch import resolve_arch
     from repro.pipeline import sweep_archs
@@ -505,9 +516,28 @@ def arch_comparison(
     work: List[Tuple[PipelineGraph, SweepPoint]] = []
     for workload, families in workloads:
         graph = workload.to_graph()
-        work.extend(
-            sweep_archs(graph, arches, policies=families, schemes=("streamsync", "cusync"))
-        )
+        if tuned and isinstance(workload, (GptMlp, LlamaMlp)):
+            # One graph per arch, carrying that arch's tuned tiles; the
+            # deterministic `@<arch>` rename keeps multi-graph sweep
+            # labels unique (rows strip it below).
+            for arch in arches:
+                resolved = resolve_arch(arch)
+                twin = type(workload)(
+                    config=workload.config,
+                    batch_seq=workload.batch_seq,
+                    arch=resolved,
+                    tuned=True,
+                ).to_graph()
+                twin = twin.renamed(f"{graph.name}@{resolved.name}")
+                work.extend(
+                    sweep_archs(
+                        twin, (arch,), policies=families, schemes=("streamsync", "cusync")
+                    )
+                )
+        else:
+            work.extend(
+                sweep_archs(graph, arches, policies=families, schemes=("streamsync", "cusync"))
+            )
     results = session.sweep(work, mode=mode)
 
     if cache_stats is not None:
@@ -535,7 +565,10 @@ def arch_comparison(
         label = result.policy_label if result.scheme == "cusync" else result.scheme
         rows.append(
             {
-                "workload": result.graph_label,
+                # Per-arch tuned graphs are labelled `<name>@<arch>`; rows
+                # report under the base workload name so tuned and untuned
+                # records share row keys.
+                "workload": result.graph_label.split("@", 1)[0],
                 "arch": result.arch_name,
                 "policy": label,
                 "total_time_us": result.total_time_us,
@@ -556,7 +589,8 @@ def arch_comparison(
         for arch in arches:
             resolved = resolve_arch(arch)
             layer = TransformerLayer(
-                config=GPT3_145B, batch=1, seq=seq, cached=0, arch=resolved
+                config=GPT3_145B, batch=1, seq=seq, cached=0, arch=resolved,
+                tuned=tuned,
             )
             estimate = layer.estimate()
             rows.append(

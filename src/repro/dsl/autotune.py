@@ -1,25 +1,46 @@
-"""Auto-tuning over generated policies.
+"""Auto-tuning over generated policies (deprecation shim).
 
-The last step of the paper's workflow is to run every generated policy and
-keep the fastest (Section IV-A, "Running the Generated Code").  The paper's
-users do this by hand; here the simulator makes it automatic: the tuner
-runs a :class:`~repro.models.workload.Workload` under each candidate policy
-family (plus the StreamSync baseline for reference) and reports the winner.
+The last step of the paper's workflow is to run every generated policy
+and keep the fastest (Section IV-A, "Running the Generated Code").  The
+real subsystem now lives in :mod:`repro.tune` — search spaces over
+``(tile, policy, arch)``, grid/random/successive-halving strategies and
+the committed ``TUNED_CONFIGS.json`` artifact, all on top of
+:meth:`Session.sweep <repro.pipeline.session.Session.sweep>` and its
+cache tiers.
+
+:class:`AutoTuner` is kept as a thin shim with the historical surface —
+one workload, its own arch, a list of policy candidates — delegating to
+a single-tile :class:`~repro.tune.space.SearchSpace` driven by
+:class:`~repro.tune.tuner.Tuner`.  Policy candidates may be family
+names, :class:`~repro.cusync.policies.PolicySpec` values or per-edge
+:class:`~repro.cusync.policies.PolicyAssignment` values (the legacy
+version accepted only family strings).
+
+.. deprecated:: build a :class:`repro.tune.SearchSpace` and run
+   :class:`repro.tune.Tuner` directly; see ``docs/autotune.md``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional, Sequence
 
-from repro.errors import ReproError
+from repro.errors import TuningError
 from repro.cusync.optimizations import OptimizationFlags
 from repro.models.workload import Workload
+from repro.pipeline.session import Session, SweepPoint, SweepPolicy
 
 
 @dataclass
 class TuningResult:
-    """Outcome of auto-tuning one workload."""
+    """Outcome of auto-tuning one workload.
+
+    ``times_us`` maps candidate labels (plus the ``"StreamSync"``
+    baseline and optionally ``"StreamK"``) to simulated times;
+    ``best_policy`` is the fastest *cuSync* candidate.  Quantities
+    derived from unmeasured entries raise :class:`~repro.errors.TuningError`
+    (a :class:`~repro.errors.ReproError`) instead of a bare ``KeyError``.
+    """
 
     workload: str
     times_us: Dict[str, float] = field(default_factory=dict)
@@ -27,10 +48,20 @@ class TuningResult:
 
     @property
     def best_time_us(self) -> float:
+        if self.best_policy not in self.times_us:
+            raise TuningError(
+                f"tuning of {self.workload!r} recorded no time for best "
+                f"policy {self.best_policy!r}"
+            )
         return self.times_us[self.best_policy]
 
     @property
     def streamsync_time_us(self) -> float:
+        if "StreamSync" not in self.times_us:
+            raise TuningError(
+                f"tuning of {self.workload!r} did not measure the "
+                "StreamSync baseline"
+            )
         return self.times_us["StreamSync"]
 
     @property
@@ -49,30 +80,56 @@ class TuningResult:
 
 
 class AutoTuner:
-    """Runs every candidate policy of a workload and picks the fastest."""
+    """Runs every candidate policy of a workload and picks the fastest.
+
+    .. deprecated:: thin shim over :mod:`repro.tune` (same results); new
+       code should use :class:`repro.tune.Tuner` with a
+       :class:`repro.tune.SearchSpace`, which also searches tile configs
+       and architectures and exploits cached replay across runs.
+    """
 
     def __init__(
         self,
-        policies: Optional[List[str]] = None,
+        policies: Optional[Sequence[SweepPolicy]] = None,
         optimizations: Optional[OptimizationFlags] = None,
         include_streamk: bool = False,
     ) -> None:
-        self.policies = policies if policies is not None else ["TileSync", "RowSync"]
+        self.policies = (
+            list(policies) if policies is not None else ["TileSync", "RowSync"]
+        )
         self.optimizations = optimizations
         self.include_streamk = include_streamk
 
     def tune(self, workload: Workload) -> TuningResult:
         """Measure every candidate on the simulator and pick the winner."""
+        from repro.tune.space import SearchSpace
+        from repro.tune.tuner import Tuner
+
         if not self.policies:
-            raise ReproError("AutoTuner needs at least one candidate policy")
+            raise TuningError("AutoTuner needs at least one candidate policy")
+        graph = workload.to_graph()
+        space = SearchSpace(
+            name=graph.name or workload.name,
+            builder=lambda _configs: graph,
+            policies=tuple(self.policies),
+            arches=(workload.arch,),
+            optimizations=self.optimizations,
+        )
+        tuner = Tuner(
+            session=Session(arch=workload.arch, cost_model=workload.cost_model),
+            mode="serial",
+        )
+        report = tuner.tune(space)
+
         times: Dict[str, float] = {}
-        times["StreamSync"] = workload.run_streamsync().total_time_us
+        for trial in report.trials:
+            label = "StreamSync" if trial.is_baseline else trial.policy
+            times[label] = trial.time_us
         if self.include_streamk:
-            times["StreamK"] = workload.run_streamk().total_time_us
-        for family in self.policies:
-            times[family] = workload.run_cusync(
-                policy=family, optimizations=self.optimizations
+            times["StreamK"] = tuner.session.sweep_point(
+                graph, SweepPoint(scheme="streamk", policy=None, arch=workload.arch)
             ).total_time_us
-        candidates = {name: t for name, t in times.items() if name not in ("StreamSync", "StreamK")}
-        best = min(candidates, key=candidates.get)
-        return TuningResult(workload=workload.name, times_us=times, best_policy=best)
+        best = report.best_for(workload.arch.name)
+        return TuningResult(
+            workload=workload.name, times_us=times, best_policy=best.policy
+        )

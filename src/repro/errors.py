@@ -210,6 +210,19 @@ class ModelConfigError(ReproError):
     """An ML model configuration is inconsistent (shapes, parallelism)."""
 
 
+class TuningError(ReproError):
+    """An autotuning request is inconsistent or incomplete.
+
+    Raised by :mod:`repro.tune` for malformed search spaces (empty axes,
+    unknown stage names in a tile choice) and by
+    :class:`repro.dsl.autotune.TuningResult` when a derived quantity is
+    requested that the tuning run never measured — e.g.
+    ``streamsync_time_us`` when no StreamSync baseline was part of the
+    run.  Structured replacement for the bare ``KeyError`` the legacy
+    tuner used to leak.
+    """
+
+
 class ServingError(ReproError):
     """A serving scenario is inconsistent (arrivals, budgets, admission).
 

@@ -93,6 +93,7 @@ class TransformerLayer:
         cached: int = 0,
         arch: GpuArchitecture = TESLA_V100,
         cost_model: Optional[CostModel] = None,
+        tuned: bool = False,
     ) -> None:
         self.config = config
         self.batch = batch
@@ -100,6 +101,9 @@ class TransformerLayer:
         self.cached = cached
         self.arch = arch
         self.cost_model = cost_model if cost_model is not None else CostModel(arch=arch)
+        #: Resolve MLP tile configs from the committed tuned-config table
+        #: (per-arch) instead of the V100-tuned defaults.
+        self.tuned = tuned
 
     # ------------------------------------------------------------------
     def attention(self) -> Attention:
@@ -116,10 +120,12 @@ class TransformerLayer:
         batch_seq = self.batch * self.seq
         if self.config.swiglu:
             return LlamaMlp(
-                config=self.config, batch_seq=batch_seq, arch=self.arch, cost_model=self.cost_model
+                config=self.config, batch_seq=batch_seq, arch=self.arch,
+                cost_model=self.cost_model, tuned=self.tuned,
             )
         return GptMlp(
-            config=self.config, batch_seq=batch_seq, arch=self.arch, cost_model=self.cost_model
+            config=self.config, batch_seq=batch_seq, arch=self.arch,
+            cost_model=self.cost_model, tuned=self.tuned,
         )
 
     def allreduce_time_us(self) -> float:

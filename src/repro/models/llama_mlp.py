@@ -26,7 +26,7 @@ from repro.gpu.arch import GpuArchitecture, TESLA_V100
 from repro.gpu.costmodel import CostModel
 from repro.kernels.gemm import GemmConfig, GemmKernel, GemmProblem, choose_gemm_config
 from repro.models.config import LLAMA_65B, TransformerConfig
-from repro.models.workload import Workload
+from repro.models.workload import Workload, _resolve_tuned_pair
 from repro.pipeline.graph import Edge, PipelineGraph, StageSpec
 
 
@@ -46,17 +46,28 @@ class LlamaMlp(Workload):
         functional: bool = False,
         gemm_configs: Optional[Tuple[GemmConfig, GemmConfig]] = None,
         seed: int = 0,
+        tuned: bool = False,
     ) -> None:
         super().__init__(arch=arch, cost_model=cost_model, functional=functional)
         check_positive("batch_seq", batch_seq)
         self.config = config
         self.batch_seq = batch_seq
         self.seed = seed
+        self.tuned = tuned
+        if gemm_configs is None and tuned and not functional:
+            gemm_configs = _resolve_tuned_pair(
+                self.workload_key, arch, "llama_gemm1", "llama_gemm2"
+            )
         self.gemm_configs = gemm_configs
 
     @property
     def name(self) -> str:
         return f"{self.config.name} MLP (BxS={self.batch_seq})"
+
+    @property
+    def workload_key(self) -> str:
+        """The tuned-config table key — also :meth:`to_graph`'s name."""
+        return f"llama_mlp_{self.config.name}_b{self.batch_seq}"
 
     @property
     def intermediate(self) -> int:
@@ -135,7 +146,7 @@ class LlamaMlp(Workload):
                     range_map=swiglu_range_map,
                 )
             ],
-            name=f"llama_mlp_{self.config.name}_b{self.batch_seq}",
+            name=self.workload_key,
         )
 
     def input_tensors(self, rng: Optional[np.random.Generator] = None) -> Dict[str, np.ndarray]:

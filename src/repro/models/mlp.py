@@ -22,7 +22,7 @@ from repro.gpu.costmodel import CostModel
 from repro.kernels.epilogue import GeLU
 from repro.kernels.gemm import GemmConfig, GemmKernel, GemmProblem, choose_gemm_config
 from repro.models.config import GPT3_145B, TransformerConfig
-from repro.models.workload import Workload
+from repro.models.workload import Workload, _resolve_tuned_pair
 from repro.pipeline.graph import Edge, PipelineGraph, StageSpec
 
 
@@ -70,12 +70,18 @@ class GptMlp(Workload):
         functional: bool = False,
         gemm_configs: Optional[Tuple[GemmConfig, GemmConfig]] = None,
         seed: int = 0,
+        tuned: bool = False,
     ) -> None:
         super().__init__(arch=arch, cost_model=cost_model, functional=functional)
         check_positive("batch_seq", batch_seq)
         self.config = config
         self.batch_seq = batch_seq
         self.seed = seed
+        self.tuned = tuned
+        if gemm_configs is None and tuned and not functional:
+            gemm_configs = _resolve_tuned_pair(
+                self.workload_key, arch, "mlp_gemm1", "mlp_gemm2"
+            )
         if gemm_configs is not None:
             self.gemm_configs = gemm_configs
         elif config.hidden == GPT3_145B.hidden and not functional:
@@ -86,6 +92,11 @@ class GptMlp(Workload):
     @property
     def name(self) -> str:
         return f"{self.config.name} MLP (BxS={self.batch_seq})"
+
+    @property
+    def workload_key(self) -> str:
+        """The tuned-config table key — also :meth:`to_graph`'s name."""
+        return f"mlp_{self.config.name}_b{self.batch_seq}"
 
     # ------------------------------------------------------------------
     def problems(self) -> Tuple[GemmProblem, GemmProblem]:
@@ -128,7 +139,7 @@ class GptMlp(Workload):
                 StageSpec(name="mlp_gemm2", kernel=consumer),
             ],
             edges=[Edge(producer="mlp_gemm1", consumer="mlp_gemm2", tensor="XW1")],
-            name=f"mlp_{self.config.name}_b{self.batch_seq}",
+            name=self.workload_key,
         )
 
     def input_tensors(self, rng: Optional[np.random.Generator] = None) -> Dict[str, np.ndarray]:

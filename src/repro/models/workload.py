@@ -88,6 +88,29 @@ def make_order(name: str, spec: KernelSpec) -> TileOrder:
     return resolve_order(name, _stage_of(spec))
 
 
+def _resolve_tuned_pair(workload_key: str, arch: ArchLike, stage1: str, stage2: str):
+    """Resolve a two-GeMM workload's tuned tile pair, or ``None``.
+
+    Shared by the MLP constructors' ``tuned=True`` paths: looks
+    ``workload_key`` up in the committed tuned-config table
+    (:func:`repro.tune.table.tuned_gemm_configs`, imported lazily —
+    models must stay importable without the tune package loaded) and
+    returns ``(config1, config2)`` when the entry covers both stages.
+    ``None`` means "use the workload's defaults": no entry (explicit
+    V100 fallback, warned once per (workload, arch) off-V100), or the
+    default tile won the search.
+    """
+    from repro.tune.table import tuned_gemm_configs
+
+    configs = tuned_gemm_configs(workload_key, arch)
+    if configs is None:
+        return None
+    first, second = configs.get(stage1), configs.get(stage2)
+    if first is None or second is None:
+        return None
+    return (first, second)
+
+
 class Workload(ABC):
     """A chain of dependent kernels, described once and run under any scheme."""
 

@@ -214,6 +214,20 @@ class PipelineGraph:
         """Optional graph label, used to attribute multi-graph sweep results."""
         return self._name
 
+    def renamed(self, name: Optional[str]) -> "PipelineGraph":
+        """A copy of this graph carrying ``name`` as its label.
+
+        The name is a reporting label, not structure: the copy has the
+        same structural fingerprint as the original and therefore shares
+        sweep-cache and result-store entries with it.  The copy *shares*
+        the original's stage and kernel objects, so treat it as a
+        build-then-rename replacement for the original — do not sweep the
+        original and the renamed copy as distinct entries of one
+        ``mode="thread"`` work list (per-graph locks key on object
+        identity, so the two would re-bind the same kernels concurrently).
+        """
+        return PipelineGraph(stages=self._stages, edges=self._edges, name=name)
+
     @property
     def stages(self) -> Tuple[StageSpec, ...]:
         """Stages in declaration order."""

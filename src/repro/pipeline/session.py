@@ -159,11 +159,18 @@ class SweepPoint:
     a :class:`~repro.gpu.arch.GpuArchitecture` instance (specs and names
     are the picklable, registry-resolved forms); non-cusync schemes use
     ``policy=None``.
+
+    ``optimizations`` optionally pins the cusync W/R/T flags instead of
+    the automatic per-arch selection (``None``).  It only applies to the
+    ``cusync`` scheme, and it is part of the point's cache identity: a
+    pinned-flags point never shares a cache or store entry with the
+    automatic-selection point, even when the selected flags coincide.
     """
 
     scheme: str
     policy: SweepPolicy
     arch: ArchLike
+    optimizations: Optional[OptimizationFlags] = None
 
     def resolved_arch(self) -> GpuArchitecture:
         """The concrete architecture this point runs on."""
@@ -172,7 +179,10 @@ class SweepPoint:
     def label(self) -> str:
         policy = _policy_label(self.policy)
         suffix = f":{policy}" if policy else ""
-        return f"{self.scheme}{suffix}@{self.resolved_arch().name}"
+        flags = ""
+        if self.optimizations is not None and self.scheme == "cusync":
+            flags = self.optimizations.suffix or "+none"
+        return f"{self.scheme}{suffix}{flags}@{self.resolved_arch().name}"
 
 
 @dataclass(frozen=True)
@@ -275,6 +285,7 @@ def _sweep_point_result(
         cost_model=cost_model,
         functional=False,
         policy=point.policy if point.policy is not None else "TileSync",
+        optimizations=point.optimizations if point.scheme == "cusync" else None,
         stage_summaries=stage_summaries if point.scheme == "cusync" else None,
     )
     result = get_executor(point.scheme).run(graph, ctx)
@@ -767,7 +778,12 @@ class Session:
             arch_key = canonical_arch_key(point.arch if point.arch is not None else self.arch)
         except Exception:
             return None
-        return (self._graph_key(graph), arch_key, point.scheme, policy_key)
+        key = (self._graph_key(graph), arch_key, point.scheme, policy_key)
+        if point.scheme == "cusync" and point.optimizations is not None:
+            # Pinned W/R/T flags extend the key; automatic selection keeps
+            # the historical four-tuple so existing entries stay addressable.
+            key += (point.optimizations,)
+        return key
 
     def sweep_store_key(self, graph: PipelineGraph, point: SweepPoint) -> Optional[Tuple]:
         """The point's *persistent* trace key, or ``None`` when it has none.
@@ -799,7 +815,10 @@ class Session:
             arch_canonical = canonicalize(arch_key)
         except Exception:
             return None
-        return ("sweep-result/v1", digest, arch_canonical, point.scheme, policy_key)
+        key = ("sweep-result/v1", digest, arch_canonical, point.scheme, policy_key)
+        if point.scheme == "cusync" and point.optimizations is not None:
+            key += (canonicalize(point.optimizations),)
+        return key
 
     def sweep_trace_key(self, graph: PipelineGraph, point: SweepPoint) -> Optional[Tuple]:
         """The point's in-memory trace key, or ``None`` when it has none.

@@ -1,0 +1,168 @@
+"""Search spaces: ``(tile, policy, arch)`` cross products over one workload.
+
+A :class:`SearchSpace` owns a graph *builder* — a callable taking an
+optional ``{stage name: GemmConfig}`` mapping and returning the
+workload's :class:`~repro.pipeline.graph.PipelineGraph` built with those
+tile configs (``None`` → the workload's defaults).  Tile choices are the
+only axis that changes the graph itself; policies and architectures ride
+in the :class:`~repro.pipeline.session.SweepPoint`, so a space lowers
+every candidate to a ``(graph, point)`` pair :meth:`Session.sweep
+<repro.pipeline.session.Session.sweep>` evaluates directly — which is
+what makes tuner runs cacheable and bit-deterministic.
+
+Graphs are memoized per tile label and **renamed deterministically**
+(``<name>@<tile label>``) so multi-graph sweep labels — and the
+``graph_label`` field persisted by the result store — do not depend on
+sweep order or on how many tiles a strategy happened to visit.  The
+default tile keeps the workload's natural name, so the tuner's baseline
+entries are byte-identical to the entries a plain ``Session.sweep`` of
+the untuned workload would persist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import TuningError
+from repro.gpu.arch import ArchLike, resolve_arch
+from repro.kernels.gemm import GemmConfig
+from repro.cusync.optimizations import OptimizationFlags
+from repro.pipeline.graph import PipelineGraph
+from repro.pipeline.session import SweepPoint, SweepPolicy
+
+
+@dataclass(frozen=True)
+class TileChoice:
+    """One point on the tile axis: a label plus per-stage tile configs.
+
+    ``configs`` is a sorted tuple of ``(stage name, GemmConfig)`` pairs
+    (hashable, canonical ordering); ``None`` means "the workload's own
+    default configuration" — whatever the builder produces unconfigured.
+    """
+
+    label: str
+    configs: Optional[Tuple[Tuple[str, GemmConfig], ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise TuningError("a TileChoice needs a non-empty label")
+        if self.configs is not None:
+            object.__setattr__(self, "configs", tuple(sorted(self.configs)))
+
+    @classmethod
+    def of(cls, label: str, configs: Mapping[str, GemmConfig]) -> "TileChoice":
+        """Build a choice from a ``{stage: config}`` mapping."""
+        return cls(label, tuple(sorted(configs.items())))
+
+    def config_map(self) -> Optional[Dict[str, GemmConfig]]:
+        return None if self.configs is None else dict(self.configs)
+
+
+#: The workload's own default tile configuration.
+DEFAULT_TILE = TileChoice("default", None)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One fully-specified search point: tile × policy × arch."""
+
+    tile: TileChoice
+    policy: SweepPolicy
+    arch: ArchLike
+
+    def label(self) -> str:
+        policy = self.policy if isinstance(self.policy, str) else (
+            self.policy.label() if self.policy is not None else ""
+        )
+        return f"{self.tile.label}/{policy}@{resolve_arch(self.arch).name}"
+
+
+GraphBuilder = Callable[[Optional[Dict[str, GemmConfig]]], PipelineGraph]
+
+
+class SearchSpace:
+    """The cross product of tile, policy and arch axes for one workload.
+
+    ``name`` is the workload key the tuned-config table is addressed by
+    (conventionally the workload graph's natural name);  ``builder``
+    builds the graph for one tile choice's config map.  Candidates
+    enumerate in a fixed arch-major order (arch, then tile, then policy),
+    so every strategy sees the same deterministic sequence.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        builder: GraphBuilder,
+        tile_choices: Sequence[TileChoice] = (DEFAULT_TILE,),
+        policies: Sequence[SweepPolicy] = ("TileSync",),
+        arches: Sequence[ArchLike] = ("V100",),
+        scheme: str = "cusync",
+        baseline_scheme: str = "streamsync",
+        optimizations: Optional[OptimizationFlags] = None,
+    ) -> None:
+        if not name:
+            raise TuningError("a SearchSpace needs a workload name")
+        if not tile_choices:
+            raise TuningError(f"search space {name!r} has an empty tile axis")
+        if not policies:
+            raise TuningError(f"search space {name!r} has an empty policy axis")
+        if not arches:
+            raise TuningError(f"search space {name!r} has an empty arch axis")
+        labels = [tile.label for tile in tile_choices]
+        if len(set(labels)) != len(labels):
+            duplicates = sorted({label for label in labels if labels.count(label) > 1})
+            raise TuningError(
+                f"search space {name!r} has duplicate tile labels: {duplicates}"
+            )
+        self.name = name
+        self.builder = builder
+        self.tile_choices: Tuple[TileChoice, ...] = tuple(tile_choices)
+        self.policies: Tuple[SweepPolicy, ...] = tuple(policies)
+        self.arches: Tuple[ArchLike, ...] = tuple(arches)
+        self.scheme = scheme
+        self.baseline_scheme = baseline_scheme
+        self.optimizations = optimizations
+        self._graphs: Dict[str, PipelineGraph] = {}
+
+    def __len__(self) -> int:
+        return len(self.tile_choices) * len(self.policies) * len(self.arches)
+
+    # ------------------------------------------------------------------
+    def graph_for(self, tile: TileChoice) -> PipelineGraph:
+        """The (memoized) graph built with ``tile``'s configs.
+
+        Non-default tiles rename the graph to ``<name>@<tile label>`` so
+        sweep labels and persisted store entries are deterministic
+        regardless of which tiles a strategy visits; the default tile
+        keeps the builder's natural name.
+        """
+        graph = self._graphs.get(tile.label)
+        if graph is None:
+            graph = self.builder(tile.config_map())
+            if tile.configs is not None and graph.name:
+                graph = graph.renamed(f"{graph.name}@{tile.label}")
+            self._graphs[tile.label] = graph
+        return graph
+
+    def point_for(self, candidate: Candidate) -> SweepPoint:
+        return SweepPoint(
+            scheme=self.scheme,
+            policy=candidate.policy,
+            arch=candidate.arch,
+            optimizations=self.optimizations,
+        )
+
+    def baseline_point(self, arch: ArchLike) -> SweepPoint:
+        """The no-policy baseline point (StreamSync by default)."""
+        return SweepPoint(scheme=self.baseline_scheme, policy=None, arch=arch)
+
+    def candidates(self) -> Tuple[Candidate, ...]:
+        """Every search point, in deterministic arch-major order."""
+        return tuple(
+            Candidate(tile=tile, policy=policy, arch=arch)
+            for arch in self.arches
+            for tile in self.tile_choices
+            for policy in self.policies
+        )

@@ -1,0 +1,128 @@
+"""Search strategies: grid, seeded random, successive halving.
+
+Every strategy drives the same interface — ``run(candidates, evaluate)``
+where ``evaluate(batch, rung)`` measures a batch of
+:class:`~repro.tune.space.Candidate` values and returns their times in
+batch order.  The tuner's evaluate callback routes each batch through
+one :meth:`Session.sweep <repro.pipeline.session.Session.sweep>` call,
+so strategies never talk to the simulator directly and inherit the
+sweep cache's guarantees for free:
+
+* Re-evaluating a candidate (successive-halving survivors are measured
+  again on every rung) replays from cache — bit-identical, near-free.
+* A strategy that aborts a candidate early never leaves a partial
+  result anywhere: the cache and the result store only ever see
+  complete :class:`~repro.pipeline.session.SweepResult` values produced
+  by full point evaluations, so tuner-populated entries are
+  byte-identical to entries a direct sweep of the same point writes.
+* Seeded strategies are deterministic: same seed → same visit
+  trajectory → same winner, in every sweep mode.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import TuningError
+from repro.gpu.arch import resolve_arch
+from repro.tune.space import Candidate
+
+#: ``evaluate(batch, rung) -> times`` — measures a batch, in batch order.
+EvaluateFn = Callable[[Sequence[Candidate], int], List[float]]
+
+
+class SearchStrategy:
+    """Base class; subclasses visit candidates through ``evaluate``."""
+
+    name: str = ""
+
+    def run(self, candidates: Sequence[Candidate], evaluate: EvaluateFn) -> None:
+        raise NotImplementedError
+
+
+class GridSearch(SearchStrategy):
+    """Exhaustive: every candidate, one rung."""
+
+    name = "grid"
+
+    def run(self, candidates: Sequence[Candidate], evaluate: EvaluateFn) -> None:
+        if candidates:
+            evaluate(list(candidates), 0)
+
+
+class RandomSearch(SearchStrategy):
+    """A seeded uniform sample of the space, one rung.
+
+    Sampling uses a private :class:`random.Random` seeded at
+    construction, so the visit order — and therefore the search
+    trajectory and the winner — is a pure function of
+    ``(space, samples, seed)``.
+    """
+
+    def __init__(self, samples: int, seed: int = 0) -> None:
+        if samples < 1:
+            raise TuningError("RandomSearch needs samples >= 1")
+        self.samples = samples
+        self.seed = seed
+        self.name = f"random(samples={samples}, seed={seed})"
+
+    def run(self, candidates: Sequence[Candidate], evaluate: EvaluateFn) -> None:
+        if not candidates:
+            return
+        rng = random.Random(self.seed)
+        count = min(self.samples, len(candidates))
+        evaluate(rng.sample(list(candidates), count), 0)
+
+
+class SuccessiveHalving(SearchStrategy):
+    """Rung-based elimination, independently per architecture.
+
+    Candidates are grouped by their arch axis (per-arch winners are the
+    tuner's output, so arches never compete with each other).  Each rung
+    evaluates every surviving candidate and keeps the best
+    ``ceil(n / eta)`` per group — survivors are *re-evaluated* on every
+    rung, which costs nothing beyond the first measurement because the
+    sweep cache replays them, and guarantees rung results are full
+    evaluations rather than partial ones.  Ties break on earlier
+    position in the deterministic candidate order.
+    """
+
+    def __init__(self, eta: int = 2) -> None:
+        if eta < 2:
+            raise TuningError("SuccessiveHalving needs eta >= 2")
+        self.eta = eta
+        self.name = f"halving(eta={eta})"
+
+    def run(self, candidates: Sequence[Candidate], evaluate: EvaluateFn) -> None:
+        if not candidates:
+            return
+        order: List[object] = []
+        groups: Dict[object, List[Candidate]] = {}
+        for candidate in candidates:
+            key = resolve_arch(candidate.arch).name
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(candidate)
+        rung = 0
+        while True:
+            active = [candidate for key in order for candidate in groups[key]]
+            times = evaluate(active, rung)
+            position = 0
+            final = True
+            for key in order:
+                members = groups[key]
+                scored: List[Tuple[float, int, Candidate]] = []
+                for index, candidate in enumerate(members):
+                    scored.append((times[position], index, candidate))
+                    position += 1
+                if len(members) > 1:
+                    final = False
+                    keep = max(1, math.ceil(len(members) / self.eta))
+                    scored.sort(key=lambda entry: (entry[0], entry[1]))
+                    groups[key] = [candidate for _, _, candidate in scored[:keep]]
+            if final:
+                return
+            rung += 1

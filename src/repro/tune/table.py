@@ -1,0 +1,286 @@
+"""The committed best-known-config table: workload × arch → tuned configs.
+
+``TUNED_CONFIGS.json`` at the repo root is the durable output of
+:mod:`repro.tune`: for each ``(workload key, architecture)`` pair it
+records the winning tile configuration (one
+:class:`~repro.kernels.gemm.GemmConfig` per stage, or ``None`` when the
+workload's own default tile won), the winning policy, and the measured
+times.  Model constructors resolve it through
+:func:`tuned_gemm_configs` when built with ``tuned=True``.
+
+Fallback semantics (the per-arch bugfix this table exists for): the
+seed's tile grids are the paper's **V100**-tuned Table-IV values, and
+every other architecture used to silently reuse them.  With the table in
+place, an arch without a tuned entry still falls back to those V100
+grids — but *explicitly*, with a one-time :class:`RuntimeWarning` per
+``(workload, arch)`` naming the fallback.  Tesla V100 itself never
+warns: the V100 grids **are** its tuned configuration (the table
+deliberately carries no V100 entries, keeping the paper's Table-IV
+reproduction byte-stable).
+
+The artifact path can be overridden with the ``REPRO_TUNED_CONFIGS``
+environment variable (tests point it at temporary tables); a missing
+file resolves to an empty table, i.e. V100 fallback everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple, Union
+
+from repro.errors import TuningError
+from repro.gpu.arch import ArchLike, TESLA_V100, resolve_arch
+from repro.kernels.gemm import GemmConfig
+
+#: Environment variable overriding the default artifact path.
+TUNED_CONFIGS_ENV = "REPRO_TUNED_CONFIGS"
+
+#: The committed artifact at the repository root.
+DEFAULT_TABLE_PATH = Path(__file__).resolve().parents[3] / "TUNED_CONFIGS.json"
+
+#: Schema version of the serialized artifact.
+TABLE_VERSION = "tuned-configs/v1"
+
+_CONFIG_FIELDS = (
+    "tile_m",
+    "tile_n",
+    "tile_k",
+    "split_k",
+    "threads_per_block",
+    "pipeline_stages",
+)
+
+
+def encode_gemm_config(config: GemmConfig) -> Dict[str, int]:
+    """JSON-safe encoding of a :class:`GemmConfig` (all six fields)."""
+    return {name: getattr(config, name) for name in _CONFIG_FIELDS}
+
+
+def decode_gemm_config(payload: Mapping[str, int]) -> GemmConfig:
+    unknown = set(payload) - set(_CONFIG_FIELDS)
+    if unknown:
+        raise TuningError(f"unknown GemmConfig fields in tuned entry: {sorted(unknown)}")
+    return GemmConfig(**{name: int(payload[name]) for name in _CONFIG_FIELDS if name in payload})
+
+
+@dataclass(frozen=True)
+class TunedEntry:
+    """One row of the table: the best known configuration of a workload
+    on one architecture.
+
+    ``configs`` maps stage names to tile configurations as a sorted tuple
+    of pairs (hashable); ``None`` means the workload's own default tile
+    configuration won the search — the model then builds exactly the
+    graph it would have built untuned, so tuned and untuned graphs share
+    cache entries.  ``baseline_us`` is the StreamSync time on the default
+    tile, ``default_best_us`` the best searched policy's time on the
+    default tile (when the search covered it) — together they show what
+    the tuned configuration actually bought.
+    """
+
+    workload: str
+    arch: str
+    policy: str
+    time_us: float
+    baseline_us: float
+    default_best_us: Optional[float] = None
+    tile: str = "default"
+    configs: Optional[Tuple[Tuple[str, GemmConfig], ...]] = None
+
+    def config_map(self) -> Optional[Dict[str, GemmConfig]]:
+        """The per-stage tile configs as a dict, or ``None`` for default."""
+        if self.configs is None:
+            return None
+        return dict(self.configs)
+
+    @property
+    def improvement_vs_default(self) -> Optional[float]:
+        """Fractional win of the tuned config over the default tile's best
+        searched policy (``None`` when the search did not measure it)."""
+        if self.default_best_us is None or self.default_best_us <= 0:
+            return None
+        return 1.0 - self.time_us / self.default_best_us
+
+    def to_json(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "workload": self.workload,
+            "arch": self.arch,
+            "policy": self.policy,
+            "time_us": self.time_us,
+            "baseline_us": self.baseline_us,
+            "tile": self.tile,
+        }
+        if self.default_best_us is not None:
+            payload["default_best_us"] = self.default_best_us
+        if self.configs is not None:
+            payload["configs"] = {
+                stage: encode_gemm_config(config) for stage, config in self.configs
+            }
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "TunedEntry":
+        try:
+            configs_raw = payload.get("configs")
+            configs: Optional[Tuple[Tuple[str, GemmConfig], ...]] = None
+            if configs_raw is not None:
+                configs = tuple(
+                    sorted(
+                        (str(stage), decode_gemm_config(entry))
+                        for stage, entry in configs_raw.items()
+                    )
+                )
+            default_best = payload.get("default_best_us")
+            return cls(
+                workload=str(payload["workload"]),
+                arch=str(payload["arch"]),
+                policy=str(payload["policy"]),
+                time_us=float(payload["time_us"]),
+                baseline_us=float(payload["baseline_us"]),
+                default_best_us=float(default_best) if default_best is not None else None,
+                tile=str(payload.get("tile", "default")),
+                configs=configs,
+            )
+        except TuningError:
+            raise
+        except Exception as exc:
+            raise TuningError(f"malformed tuned entry: {exc!r}") from exc
+
+
+class TunedConfigTable:
+    """An in-memory ``workload × arch → TunedEntry`` mapping with JSON I/O."""
+
+    def __init__(self, entries: Iterable[TunedEntry] = ()) -> None:
+        self._entries: Dict[Tuple[str, str], TunedEntry] = {}
+        for entry in entries:
+            self.put(entry)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, entry: TunedEntry) -> None:
+        self._entries[(entry.workload, entry.arch)] = entry
+
+    def get(self, workload: str, arch: ArchLike) -> Optional[TunedEntry]:
+        """The entry for ``(workload, arch)``, or ``None``.
+
+        ``arch`` accepts anything :func:`~repro.gpu.arch.resolve_arch`
+        does — entries key by the resolved architecture *name*.
+        """
+        return self._entries.get((workload, resolve_arch(arch).name))
+
+    def entries(self) -> Tuple[TunedEntry, ...]:
+        return tuple(self._entries[key] for key in sorted(self._entries))
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": TABLE_VERSION,
+            "entries": [entry.to_json() for entry in self.entries()],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "TunedConfigTable":
+        version = payload.get("version")
+        if version != TABLE_VERSION:
+            raise TuningError(
+                f"unsupported tuned-config table version {version!r} "
+                f"(expected {TABLE_VERSION!r})"
+            )
+        raw_entries = payload.get("entries", [])
+        if not isinstance(raw_entries, list):
+            raise TuningError("tuned-config table 'entries' must be a list")
+        return cls(TunedEntry.from_json(entry) for entry in raw_entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        text = json.dumps(self.to_json(), indent=1, sort_keys=True) + "\n"
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(text)
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TunedConfigTable":
+        """Load a table from disk; a missing file is an *empty* table."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise TuningError(f"corrupt tuned-config table at {path}: {exc}") from exc
+        return cls.from_json(payload)
+
+
+# ----------------------------------------------------------------------
+# The process-wide default table (lazy; overridable via environment)
+# ----------------------------------------------------------------------
+_default_table: Optional[TunedConfigTable] = None
+_default_lock = threading.Lock()
+_warned_fallbacks: Set[Tuple[str, str]] = set()
+
+
+def table_path() -> Path:
+    """The artifact path the default table loads from."""
+    override = os.environ.get(TUNED_CONFIGS_ENV)
+    return Path(override) if override else DEFAULT_TABLE_PATH
+
+
+def default_table() -> TunedConfigTable:
+    """The lazily-loaded process-wide table (see :func:`table_path`)."""
+    global _default_table
+    with _default_lock:
+        if _default_table is None:
+            _default_table = TunedConfigTable.load(table_path())
+        return _default_table
+
+
+def reset_default_table() -> None:
+    """Drop the cached default table and the one-time-warning memory.
+
+    Call after changing ``REPRO_TUNED_CONFIGS`` or rewriting the artifact
+    (tests do; ``python -m repro.tune`` does after regenerating).
+    """
+    global _default_table
+    with _default_lock:
+        _default_table = None
+        _warned_fallbacks.clear()
+
+
+def tuned_gemm_configs(
+    workload: str,
+    arch: ArchLike,
+    table: Optional[TunedConfigTable] = None,
+) -> Optional[Dict[str, GemmConfig]]:
+    """Resolve the tuned per-stage tile configs for ``(workload, arch)``.
+
+    Returns ``None`` when the caller should use its own default
+    configuration: either the table has no entry for this pair (V100
+    fallback — warns once per pair, except on Tesla V100 itself, whose
+    defaults are the paper's tuned grids), or the entry records that the
+    default tile won the search.
+    """
+    resolved = resolve_arch(arch)
+    lookup = table if table is not None else default_table()
+    entry = lookup.get(workload, resolved.name)
+    if entry is None:
+        if resolved.name != TESLA_V100.name:
+            key = (workload, resolved.name)
+            with _default_lock:
+                first_time = key not in _warned_fallbacks
+                _warned_fallbacks.add(key)
+            if first_time:
+                warnings.warn(
+                    f"no tuned tile configs for workload {workload!r} on "
+                    f"{resolved.name!r}; falling back to the V100-tuned "
+                    f"defaults (run `python -m repro.tune` to tune)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return None
+    return entry.config_map()
