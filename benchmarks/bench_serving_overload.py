@@ -1,0 +1,321 @@
+"""Overload serving benchmark: admission control and preemption under 2x load.
+
+Runs one seeded mixed-priority :class:`~repro.serving.ServingScenario`
+at roughly twice the system's service capacity, in four cells —
+``{none, priority} x {streamsync, cusync}`` — where ``none`` is the
+legacy queue-forever discipline and ``priority`` is the full admission
+stack (bounded queue, deadline shedding, priority preemption).  The
+serving loop is bit-deterministic for its seed, so every latency/shed
+number in the record is exact — only the wall time varies between
+machines.  The record also carries ``replay_identical``: the cusync
+priority cell is run twice in fresh sessions and the reports compared
+``==``, pinning the overload determinism contract inside the benchmark
+itself.
+
+The two headline numbers:
+
+* ``cusync_goodput_advantage`` — cusync's SLO-goodput over streamsync's
+  under the priority policy.  Queueing amplifies per-iteration latency
+  differences, so overload is where tile-level sync pays the most.
+* ``p99_bound_improvement`` — per scheme, how much the priority policy
+  shrinks p99 vs queue-forever (full runs only; smoke drops the ``none``
+  cells).
+
+``BENCH_serving_overload.json`` in the repository root is the
+**committed baseline**.  A plain run refreshes it (do this
+deliberately); ``--check-baseline`` writes the fresh record to
+``BENCH_serving_overload.latest.json`` and gates it against the
+committed baseline: wall time within the suite's 2x tolerance, every
+deterministic metric matched exactly.  ``--smoke`` keeps the *same*
+scenario and drops only the ``none`` cells, so the per-cell exact gates
+stay valid and ``--smoke --check-baseline`` still verifies determinism
+in CI.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serving_overload.py [--smoke] [--check-baseline]
+
+or through pytest (``pytest benchmarks/bench_serving_overload.py``).
+
+JSON schema (see also benchmarks/README.md):
+
+* ``requests`` / ``rate_rps`` / ``seed`` / ``slo_us`` — the scenario;
+* ``cells`` — ``{"policy/scheme": LatencyReport.summary()}``: exact
+  percentiles, goodput, ``shed`` / ``preemptions`` /
+  ``restarted_tokens`` / ``kv_reserved_peak`` / ``deadline_hits`` and
+  per-priority-class stats;
+* ``cusync_goodput_advantage`` — the headline number;
+* ``replay_identical`` — the determinism pin (must be true);
+* ``elapsed_s`` — wall time of all cells (the gated quantity).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List
+
+from repro.bench import format_table
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_serving_overload.json",
+)
+#: Non-destructive output used by the pytest path and ``--check-baseline``.
+LATEST_OUTPUT = DEFAULT_OUTPUT.replace(".json", ".latest.json")
+
+#: Tolerated wall-clock slowdown vs the committed baseline.
+BASELINE_TOLERANCE = 2.0
+
+#: The seeded overload scenario: ~2x the measured service capacity of the
+#: tiny reference config, mixed priorities (half best-effort), finite
+#: deadlines.  Changing any of these is a baseline refresh.
+REQUESTS = 48
+RATE_RPS = 10_000.0
+SEED = 7
+SLO_US = 6_000.0
+MAX_KV_TOKENS = 1024
+MAX_QUEUE = 6
+
+#: Per-cell metrics that are exact for a fixed scenario and must match
+#: the committed baseline bit for bit.
+EXACT_METRICS = (
+    "p50_total_us",
+    "p99_total_us",
+    "goodput_rps",
+    "iterations",
+    "completed",
+    "shed",
+    "preemptions",
+    "restarted_tokens",
+    "kv_reserved_peak",
+    "deadline_hits",
+)
+
+
+def _scenario(shed: bool):
+    from dataclasses import replace
+
+    from repro.models.config import TransformerConfig
+    from repro.serving import PoissonArrivals, ServingScenario
+
+    config = TransformerConfig(
+        name="srv-tiny", hidden=256, layers=2, tensor_parallel=8
+    )
+    scenario = ServingScenario(
+        arrivals=PoissonArrivals(
+            rate_rps=RATE_RPS,
+            prompt_tokens=(16, 96),
+            decode_tokens=(2, 8),
+            seed=SEED,
+            deadline_slack_us=(3_000.0, 12_000.0),
+            priorities=(0, 0, 1, 2),
+        ),
+        requests=REQUESTS,
+        config=config,
+        max_batch=4,
+        max_kv_tokens=MAX_KV_TOKENS,
+        max_prefill_tokens=128,
+        slo_us=SLO_US,
+        # Watchdogs sized far above the workload: they must never trip
+        # here, but a runaway regression fails structurally, not by hang.
+        max_iterations=100_000,
+        max_sim_time_us=1e9,
+    )
+    if shed:
+        scenario = replace(
+            scenario, shed_policy="priority", max_queue=MAX_QUEUE, preemption=True
+        )
+    return scenario
+
+
+def run_experiment(smoke: bool = False) -> Dict[str, object]:
+    from repro.pipeline import Session
+    from repro.serving import ServingSimulator
+
+    policies = ("priority",) if smoke else ("none", "priority")
+    start = time.perf_counter()
+    cells: Dict[str, object] = {}
+    for policy in policies:
+        for scheme in ("streamsync", "cusync"):
+            report = ServingSimulator(scheme=scheme, session=Session()).run(
+                _scenario(shed=policy == "priority")
+            )
+            cells[f"{policy}/{scheme}"] = report.summary()
+    # Determinism pin: the headline cell replays bit-identically.
+    replay = [
+        ServingSimulator(scheme="cusync", session=Session()).run(
+            _scenario(shed=True)
+        )
+        for _ in range(2)
+    ]
+    elapsed = time.perf_counter() - start
+    streamsync_goodput = cells["priority/streamsync"]["goodput_rps"]
+    cusync_goodput = cells["priority/cusync"]["goodput_rps"]
+    record: Dict[str, object] = {
+        "elapsed_s": elapsed,
+        "requests": REQUESTS,
+        "rate_rps": RATE_RPS,
+        "seed": SEED,
+        "slo_us": SLO_US,
+        "max_kv_tokens": MAX_KV_TOKENS,
+        "max_queue": MAX_QUEUE,
+        "smoke": smoke,
+        "cells": cells,
+        "cusync_goodput_advantage": cusync_goodput / streamsync_goodput - 1.0,
+        "replay_identical": replay[0] == replay[1],
+    }
+    if not smoke:
+        record["p99_bound_improvement"] = {
+            scheme: 1.0
+            - cells[f"priority/{scheme}"]["p99_total_us"]
+            / cells[f"none/{scheme}"]["p99_total_us"]
+            for scheme in ("streamsync", "cusync")
+        }
+    return record
+
+
+def write_record(record: Dict[str, object], output_path: str = "") -> None:
+    path = output_path or os.environ.get("BENCH_SERVING_OVERLOAD_OUT", DEFAULT_OUTPUT)
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def compare_against_baseline(
+    record: Dict[str, object],
+    baseline: Dict[str, object],
+    tolerance: float = BASELINE_TOLERANCE,
+) -> List[str]:
+    """Failures of ``record`` against the committed baseline (empty = pass)."""
+    failures: List[str] = []
+    ceiling = baseline["elapsed_s"] * tolerance
+    if record["elapsed_s"] > ceiling:
+        failures.append(
+            f"elapsed_s {record['elapsed_s']:.3f} exceeded {ceiling:.3f} "
+            f"(baseline {baseline['elapsed_s']:.3f} * {tolerance}x tolerance)"
+        )
+    if not record["replay_identical"]:
+        failures.append("replay_identical is false (determinism broken)")
+    for cell, fresh in record["cells"].items():
+        committed = baseline["cells"].get(cell)
+        if committed is None:
+            continue
+        for metric in EXACT_METRICS:
+            if fresh[metric] != committed[metric]:
+                failures.append(
+                    f"{cell}.{metric} {fresh[metric]} != committed "
+                    f"{committed[metric]} (deterministic; investigate)"
+                )
+    return failures
+
+
+def _print(record: Dict[str, object]) -> None:
+    rows = []
+    for cell, summary in record["cells"].items():
+        rows.append(
+            [
+                cell,
+                f"{summary['p99_total_us']:.0f}",
+                f"{summary['goodput_rps']:.1f}",
+                f"{summary['completed']}",
+                f"{summary['shed']}",
+                f"{summary['preemptions']}",
+                f"{summary['deadline_hits']}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["cell", "p99 us", "goodput r/s", "done", "shed", "preempt", "dl hits"],
+            rows,
+            title=(
+                f"Overload: {record['requests']} reqs @ {record['rate_rps']:.0f} r/s, "
+                f"cusync goodput +{record['cusync_goodput_advantage']:.1%} "
+                f"({record['elapsed_s']:.2f}s)"
+            ),
+        )
+    )
+
+
+def _check(record: Dict[str, object]) -> None:
+    """Subsystem-shape sanity, independent of any baseline."""
+    assert record["replay_identical"], "overload run must replay bit-identically"
+    for cell, summary in record["cells"].items():
+        policy, _scheme = cell.split("/")
+        # Every request resolves terminally; KV never exceeds the budget.
+        assert summary["completed"] + summary["shed"] == record["requests"], (
+            cell,
+            summary,
+        )
+        assert summary["kv_reserved_peak"] <= record["max_kv_tokens"], (cell, summary)
+        if policy == "none":
+            assert summary["shed"] == 0 and summary["preemptions"] == 0, cell
+        else:
+            # 2x overload with a bounded queue must actually shed and
+            # preempt; the top class is always fully served and shedding
+            # concentrates monotonically on the lower classes.
+            assert summary["shed"] > 0 and summary["preemptions"] > 0, cell
+            classes = {c["priority"]: c for c in summary["priority_classes"]}
+            assert classes[2]["shed"] == 0, cell
+            assert classes[0]["shed"] >= classes[1]["shed"] >= classes[2]["shed"], cell
+    # Under cusync the faster iterations protect the whole priority
+    # ladder: only the best-effort class is ever shed.
+    cusync_classes = {
+        c["priority"]: c
+        for c in record["cells"]["priority/cusync"]["priority_classes"]
+    }
+    assert cusync_classes[1]["shed"] == 0 and cusync_classes[2]["shed"] == 0
+    # The acceptance property: tile-level sync wins under overload.
+    for policy in {cell.split("/")[0] for cell in record["cells"]}:
+        assert (
+            record["cells"][f"{policy}/cusync"]["goodput_rps"]
+            >= record["cells"][f"{policy}/streamsync"]["goodput_rps"]
+        ), policy
+    assert record["cusync_goodput_advantage"] >= 0.0
+    for improvement in record.get("p99_bound_improvement", {}).values():
+        assert improvement > 0.0  # shedding bounds the tail for every scheme
+
+
+def test_serving_overload(bench_once, benchmark):
+    record = bench_once(benchmark, run_experiment, smoke=True)
+    write_record(record, output_path=LATEST_OUTPUT)
+    _print(record)
+    _check(record)
+
+
+def main(argv: List[str]) -> int:
+    smoke = "--smoke" in argv
+    check = "--check-baseline" in argv
+    baseline = None
+    if check:
+        with open(DEFAULT_OUTPUT) as handle:
+            baseline = json.load(handle)
+    record = run_experiment(smoke=smoke)
+    _print(record)
+    _check(record)
+    # A plain full run refreshes the committed baseline; smoke and gated
+    # runs record next to it (the baseline stays authoritative).
+    write_record(record, output_path=LATEST_OUTPUT if (check or smoke) else "")
+    if baseline is not None:
+        failures = compare_against_baseline(record, baseline)
+        if smoke:
+            print("note: --check-baseline with --smoke gates determinism only, not wall time")
+            failures = [f for f in failures if not f.startswith("elapsed_s")]
+        if failures:
+            print("overload regression vs committed BENCH_serving_overload.json:")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        print(
+            f"baseline gate ok: {record['elapsed_s']:.2f}s vs committed "
+            f"{baseline['elapsed_s']:.2f}s (tolerance {BASELINE_TOLERANCE}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

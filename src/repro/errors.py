@@ -231,3 +231,72 @@ class ServingError(ReproError):
     trace, or a request whose KV footprint exceeds the batcher's budget
     and therefore could never be admitted.
     """
+
+
+class ServingStallError(ServingError):
+    """The serving loop ran past a watchdog limit without resolving every
+    request.
+
+    The serving analogue of :class:`LivelockError`: instead of spinning
+    until the heat death of the universe (an overloaded scenario under the
+    ``"none"`` shedding policy grows its queue without bound), the
+    :class:`~repro.serving.ServingSimulator` watchdogs trip on either the
+    iteration-count guard (``max_iterations``) or the simulated-time guard
+    (``max_sim_time_us``) and attach queue forensics: how deep the
+    admission queue was, which request had been waiting longest and for
+    how long, and how much KV budget the running batch held when the loop
+    was declared stalled.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        guard: str = "max_iterations",
+        iterations: int = 0,
+        simulated_time_us: float = 0.0,
+        completed: int = 0,
+        shed: int = 0,
+        total_requests: int = 0,
+        queue_depth: int = 0,
+        running: int = 0,
+        kv_reserved: int = 0,
+        oldest_request_id: Optional[int] = None,
+        oldest_waited_us: float = 0.0,
+        limit: float = 0.0,
+    ):
+        super().__init__(message)
+        #: Which guard tripped: ``"max_iterations"`` or ``"max_sim_time_us"``.
+        self.guard = guard
+        self.iterations = iterations
+        self.simulated_time_us = simulated_time_us
+        self.completed = completed
+        self.shed = shed
+        self.total_requests = total_requests
+        #: Admission-queue depth at the moment the watchdog tripped.
+        self.queue_depth = queue_depth
+        #: Sequences running in the batch when the watchdog tripped.
+        self.running = running
+        #: KV tokens reserved by the running batch.
+        self.kv_reserved = kv_reserved
+        #: The longest-waiting queued request (``None`` for an empty queue).
+        self.oldest_request_id = oldest_request_id
+        self.oldest_waited_us = oldest_waited_us
+        self.limit = limit
+
+    def report(self) -> str:
+        """Multi-line forensic report of the stalled serving loop."""
+        lines = [
+            str(self),
+            f"  guard: {self.guard} (limit {self.limit})",
+            f"  iterations: {self.iterations}, simulated {self.simulated_time_us:.1f}us",
+            f"  resolved: {self.completed} completed + {self.shed} shed "
+            f"of {self.total_requests}",
+            f"  queue depth: {self.queue_depth}, running: {self.running}, "
+            f"kv reserved: {self.kv_reserved}",
+        ]
+        if self.oldest_request_id is not None:
+            lines.append(
+                f"  oldest queued request: {self.oldest_request_id} "
+                f"(waited {self.oldest_waited_us:.1f}us)"
+            )
+        return "\n".join(lines)

@@ -16,14 +16,21 @@ The pieces (see ``docs/service.md`` for the full tour):
     simulates exactly once), resolves through memory → store →
     simulation, and streams per-point results.
 
+:mod:`repro.service.audit`
+    ``python -m repro.service.audit`` — walk a store's shards, census
+    valid/corrupt/version-mismatched entries, optionally quarantine the
+    corrupt ones (:meth:`SweepResultStore.audit`).
+
 :mod:`repro.service.fakes`
     In-memory store/worker fakes for tests and experiments.
 """
 
-from .jobs import PointOutcome, SessionWorker, SweepJob, SweepService
+from .jobs import JobCancelled, PointOutcome, SessionWorker, SweepJob, SweepService
 from .store import (
+    QUARANTINE_DIR,
     STORE_VERSION,
     ResultStore,
+    StoreAudit,
     SweepResultStore,
     content_address,
     decode_result,
@@ -32,10 +39,13 @@ from .store import (
 )
 
 __all__ = [
+    "JobCancelled",
     "PointOutcome",
+    "QUARANTINE_DIR",
     "ResultStore",
     "STORE_VERSION",
     "SessionWorker",
+    "StoreAudit",
     "SweepJob",
     "SweepResultStore",
     "SweepService",

@@ -27,8 +27,15 @@ the in-flight entry clears re-simulates fresh.
 Results stream per point as they land (:meth:`SweepJob.stream`) or
 collect position-aligned with the work list (:meth:`SweepJob.results`).
 Every outcome says where its result came from (``"memory"``,
-``"store"``, ``"coalesced"``, ``"simulated"``) so tests and benchmarks
-can assert dedup ratios exactly.
+``"store"``, ``"coalesced"``, ``"simulated"``, ``"cancelled"``) so tests
+and benchmarks can assert dedup ratios exactly.
+
+Cancellation is *graceful*: resolution of a novel point runs in a
+detached service-owned task, so :meth:`SweepJob.cancel` (or a per-job
+``timeout_s``) releases that job's waiters with a structured
+:class:`JobCancelled` outcome while the in-flight future keeps resolving
+for every other job coalesced on the same point — cancelling one client
+never poisons another's result.
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ import asyncio
 import threading
 import weakref
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import (
     AsyncIterator,
     Dict,
@@ -45,6 +52,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -55,10 +63,47 @@ from repro.pipeline.session import Session, SweepFailure, SweepPoint, SweepResul
 
 from .store import ResultStore
 
-__all__ = ["PointOutcome", "SessionWorker", "SweepJob", "SweepService"]
+__all__ = [
+    "JobCancelled",
+    "PointOutcome",
+    "SessionWorker",
+    "SweepJob",
+    "SweepService",
+]
 
 #: One submitted work item.
 WorkItem = Tuple[PipelineGraph, SweepPoint]
+
+
+@dataclass(frozen=True)
+class JobCancelled:
+    """A point released without a result: its job was cancelled or timed out.
+
+    The job-level analogue of
+    :class:`~repro.pipeline.session.SweepFailure` — a structured value in
+    the results list, not an exception.  ``reason`` is ``"cancelled"``
+    (explicit :meth:`SweepJob.cancel`) or ``"timeout"`` (the job's
+    ``timeout_s`` elapsed).  Only the *waiting* is abandoned: an
+    in-flight resolution keeps running for other jobs coalesced on the
+    same point.
+    """
+
+    point: SweepPoint
+    graph_label: str
+    reason: str
+    #: How long the point waited before being released (wall seconds;
+    #: excluded from comparisons, like SweepFailure's elapsed_s).
+    waited_s: float = field(default=0.0, compare=False)
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return (
+            f"{self.graph_label}/{self.point.scheme}: released after "
+            f"{self.waited_s:.3f}s ({self.reason})"
+        )
 
 
 @dataclass(frozen=True)
@@ -70,8 +115,9 @@ class PointOutcome:
     #: Stable label of the point's graph within the job.
     graph_label: str
     point: SweepPoint
-    result: Union[SweepResult, SweepFailure]
-    #: ``"memory"`` / ``"store"`` / ``"coalesced"`` / ``"simulated"``.
+    result: Union[SweepResult, SweepFailure, JobCancelled]
+    #: ``"memory"`` / ``"store"`` / ``"coalesced"`` / ``"simulated"`` /
+    #: ``"cancelled"``.
     source: str
 
     @property
@@ -88,8 +134,13 @@ class SweepJob:
     the same job; tasks resolve once.
     """
 
-    def __init__(self, tasks: Sequence["asyncio.Task[PointOutcome]"]) -> None:
+    def __init__(
+        self,
+        tasks: Sequence["asyncio.Task[PointOutcome]"],
+        cancel_event: Optional["asyncio.Event"] = None,
+    ) -> None:
         self._tasks = list(tasks)
+        self._cancel_event = cancel_event if cancel_event is not None else asyncio.Event()
 
     def __len__(self) -> int:
         return len(self._tasks)
@@ -97,6 +148,10 @@ class SweepJob:
     @property
     def done(self) -> bool:
         return all(task.done() for task in self._tasks)
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel_event.is_set()
 
     async def stream(self) -> AsyncIterator[PointOutcome]:
         """Yield each :class:`PointOutcome` as soon as it resolves."""
@@ -108,13 +163,19 @@ class SweepJob:
         resolved = await asyncio.gather(*self._tasks)
         return sorted(resolved, key=lambda outcome: outcome.position)
 
-    async def results(self) -> List[Union[SweepResult, SweepFailure]]:
+    async def results(self) -> List[Union[SweepResult, SweepFailure, JobCancelled]]:
         """The results alone, position-aligned with the work list."""
         return [outcome.result for outcome in await self.outcomes()]
 
     def cancel(self) -> None:
-        for task in self._tasks:
-            task.cancel()
+        """Release this job's unresolved points as :class:`JobCancelled`.
+
+        Graceful: already-resolved points keep their results, and any
+        simulation the service started on this job's behalf runs to
+        completion for the benefit of other (coalesced) jobs — only the
+        waiting stops.
+        """
+        self._cancel_event.set()
 
 
 class SessionWorker:
@@ -253,11 +314,15 @@ class SweepService:
             max_workers=max_parallel, thread_name_prefix="sweep-service"
         )
         self._inflight: Dict[Tuple, "asyncio.Future" ] = {}
+        #: Detached resolution tasks (strong refs: they must outlive a
+        #: cancelled job so coalesced waiters still get their result).
+        self._resolvers: Set["asyncio.Task"] = set()
         self.points_submitted = 0
         self.memory_hits = 0
         self.store_hits = 0
         self.points_coalesced = 0
         self.points_simulated = 0
+        self.points_cancelled = 0
         self.failures = 0
         self.store_errors = 0
 
@@ -273,9 +338,20 @@ class SweepService:
             "store_hits": self.store_hits,
             "points_coalesced": self.points_coalesced,
             "points_simulated": self.points_simulated,
+            "points_cancelled": self.points_cancelled,
             "failures": self.failures,
             "store_errors": self.store_errors,
         }
+
+    async def drain(self) -> None:
+        """Wait for every detached in-flight resolution to finish.
+
+        Useful after cancelling a job: the abandoned resolutions keep
+        running (by design), and draining them avoids tearing down the
+        event loop underneath a pending task.
+        """
+        while self._resolvers:
+            await asyncio.gather(*list(self._resolvers), return_exceptions=True)
 
     def close(self) -> None:
         self._executor.shutdown(wait=True)
@@ -287,13 +363,23 @@ class SweepService:
         self.close()
 
     # ------------------------------------------------------------------
-    async def submit(self, work: Iterable[WorkItem]) -> SweepJob:
+    async def submit(
+        self, work: Iterable[WorkItem], *, timeout_s: Optional[float] = None
+    ) -> SweepJob:
         """Start resolving every point of ``work``; returns immediately.
 
         ``work`` is an iterable of ``(PipelineGraph, SweepPoint)`` pairs
         (the shape :func:`~repro.pipeline.session.sweep_archs` /
         :func:`~repro.pipeline.session.sweep_policies` produce).
+
+        ``timeout_s`` bounds the whole job: points still waiting when it
+        elapses resolve as :class:`JobCancelled` (reason ``"timeout"``)
+        instead of blocking forever on a slow or stuck resolution.  Like
+        :meth:`SweepJob.cancel`, the timeout releases only this job's
+        waiters — shared in-flight resolutions keep going.
         """
+        if timeout_s is not None and timeout_s <= 0.0:
+            raise SimulationError(f"timeout_s must be positive, got {timeout_s}")
         items: List[WorkItem] = []
         for item in work:
             graph, point = item
@@ -304,42 +390,135 @@ class SweepService:
                 )
             items.append((graph, point))
         labels = _job_labels(items)
+        cancel_event = asyncio.Event()
+        deadline = (
+            None if timeout_s is None else asyncio.get_running_loop().time() + timeout_s
+        )
         tasks = [
             asyncio.create_task(
-                self._evaluate_point(position, graph, point, labels[id(graph)])
+                self._evaluate_point(
+                    position, graph, point, labels[id(graph)], cancel_event, deadline
+                )
             )
             for position, (graph, point) in enumerate(items)
         ]
         self.points_submitted += len(tasks)
-        return SweepJob(tasks)
+        return SweepJob(tasks, cancel_event)
 
-    async def sweep(self, work: Iterable[WorkItem]) -> List[Union[SweepResult, SweepFailure]]:
+    async def sweep(
+        self, work: Iterable[WorkItem], *, timeout_s: Optional[float] = None
+    ) -> List[Union[SweepResult, SweepFailure, JobCancelled]]:
         """Submit ``work`` and await all results, position-aligned."""
-        job = await self.submit(work)
+        job = await self.submit(work, timeout_s=timeout_s)
         return await job.results()
 
     # ------------------------------------------------------------------
     async def _evaluate_point(
-        self, position: int, graph: PipelineGraph, point: SweepPoint, label: str
+        self,
+        position: int,
+        graph: PipelineGraph,
+        point: SweepPoint,
+        label: str,
+        cancel_event: "asyncio.Event",
+        deadline: Optional[float],
     ) -> PointOutcome:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+
+        def released(reason: str) -> PointOutcome:
+            self.points_cancelled += 1
+            cancelled = JobCancelled(
+                point=point,
+                graph_label=label,
+                reason=reason,
+                waited_s=loop.time() - started,
+            )
+            return self._outcome(position, point, label, cancelled, "cancelled")
+
+        if cancel_event.is_set():
+            return released("cancelled")
         key = self.session.sweep_trace_key(graph, point)
+        coalesced = False
         if key is None:
-            # Uncacheable point: nothing to coalesce on, straight to fresh.
-            result, source = await self._resolve_fresh(graph, point)
+            # Uncacheable point: nothing to coalesce on, straight to a
+            # private fresh resolution (still detached, so a cancel or
+            # timeout abandons the wait, not the evaluation).
+            future = loop.create_future()
+            self._spawn_resolver(None, future, graph, point)
+        else:
+            future = self._inflight.get(key)
+            if future is not None:
+                coalesced = True
+                self.points_coalesced += 1
+            else:
+                hit = self.session.cached_sweep_result(graph, point)
+                if hit is not None:
+                    self.memory_hits += 1
+                    return self._outcome(position, point, label, hit, "memory")
+                # Novel point: park its key *before* the first await so
+                # every concurrent equal submission lands on this future.
+                # The resolver task owns the future's completion — a
+                # cancelled waiter never poisons it for other jobs.
+                future = loop.create_future()
+                self._inflight[key] = future
+                self._spawn_resolver(key, future, graph, point)
+        status = await self._await_future(future, cancel_event, deadline)
+        if status == "done":
+            result, source = future.result()
+            if coalesced:
+                source = "coalesced"
             return self._outcome(position, point, label, result, source)
-        waiter = self._inflight.get(key)
-        if waiter is not None:
-            self.points_coalesced += 1
-            result = await waiter
-            return self._outcome(position, point, label, result, "coalesced")
-        hit = self.session.cached_sweep_result(graph, point)
-        if hit is not None:
-            self.memory_hits += 1
-            return self._outcome(position, point, label, hit, "memory")
-        # Novel point: park its key *before* the first await so every
-        # concurrent equal submission lands on this future.
-        future: "asyncio.Future" = asyncio.get_running_loop().create_future()
-        self._inflight[key] = future
+        return released(status)
+
+    async def _await_future(
+        self,
+        future: "asyncio.Future",
+        cancel_event: "asyncio.Event",
+        deadline: Optional[float],
+    ) -> str:
+        """Wait on ``future`` guarded by the job's cancel event / deadline.
+
+        Returns ``"done"``, ``"cancelled"`` or ``"timeout"``.  The future
+        itself is never cancelled here — it belongs to the resolver.
+        """
+        loop = asyncio.get_running_loop()
+        event_task = asyncio.ensure_future(cancel_event.wait())
+        timeout = None if deadline is None else max(0.0, deadline - loop.time())
+        try:
+            done, _ = await asyncio.wait(
+                {future, event_task},
+                timeout=timeout,
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            if not event_task.done():
+                event_task.cancel()
+        if future in done:
+            return "done"
+        if event_task in done:
+            return "cancelled"
+        return "timeout"
+
+    def _spawn_resolver(
+        self,
+        key: Optional[Tuple],
+        future: "asyncio.Future",
+        graph: PipelineGraph,
+        point: SweepPoint,
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._resolve_into(key, future, graph, point)
+        )
+        self._resolvers.add(task)
+        task.add_done_callback(self._resolvers.discard)
+
+    async def _resolve_into(
+        self,
+        key: Optional[Tuple],
+        future: "asyncio.Future",
+        graph: PipelineGraph,
+        point: SweepPoint,
+    ) -> None:
         try:
             result, source = await self._resolve_fresh(graph, point)
         except BaseException as exc:
@@ -351,13 +530,14 @@ class SweepService:
                     # Mark retrieved so a waiter-less failure does not log
                     # an "exception was never retrieved" warning.
                     future.exception()
-            raise
+            if isinstance(exc, asyncio.CancelledError):
+                raise
         else:
             if not future.done():
-                future.set_result(result)
+                future.set_result((result, source))
         finally:
-            self._inflight.pop(key, None)
-        return self._outcome(position, point, label, result, source)
+            if key is not None:
+                self._inflight.pop(key, None)
 
     async def _resolve_fresh(
         self, graph: PipelineGraph, point: SweepPoint
@@ -408,11 +588,12 @@ class SweepService:
         position: int,
         point: SweepPoint,
         label: str,
-        result: Union[SweepResult, SweepFailure],
+        result: Union[SweepResult, SweepFailure, JobCancelled],
         source: str,
     ) -> PointOutcome:
         # Replays and shared results carry the submission's own policy
         # spelling and graph label, exactly like Session.sweep cache hits.
+        # JobCancelled values are already minted for this submission.
         if isinstance(result, SweepResult):
             result = replace(
                 result,

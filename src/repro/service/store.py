@@ -35,6 +35,7 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
@@ -42,7 +43,9 @@ from repro.pipeline.session import SweepResult
 
 __all__ = [
     "STORE_VERSION",
+    "QUARANTINE_DIR",
     "ResultStore",
+    "StoreAudit",
     "SweepResultStore",
     "content_address",
     "decode_result",
@@ -53,6 +56,55 @@ __all__ = [
 #: Entry-format version.  Bump when the payload schema changes; readers
 #: ignore entries written under any other version.
 STORE_VERSION = 1
+
+#: Subdirectory (under the store root) corrupt entries are moved to by
+#: ``audit(quarantine=True)``.  Deliberately longer than the two-hex
+#: shard names, so quarantined files are invisible to normal reads.
+QUARANTINE_DIR = "quarantine"
+
+
+@dataclass(frozen=True)
+class StoreAudit:
+    """Outcome of one :meth:`SweepResultStore.audit` walk.
+
+    ``corrupt`` covers everything the read path would count in
+    ``corrupt_entries``: unparseable JSON, malformed payloads, key echoes
+    that do not match the file's content address (a misplaced or edited
+    entry).  ``version_mismatched`` entries are structurally sound but
+    written under a different :data:`STORE_VERSION` — ignored by reads,
+    not quarantined (a downgrade should not destroy an upgrade's data).
+    """
+
+    scanned: int
+    valid: int
+    corrupt: int
+    version_mismatched: int
+    quarantined: int
+    corrupt_paths: Tuple[str, ...]
+    version_mismatched_paths: Tuple[str, ...]
+
+    @property
+    def clean(self) -> bool:
+        """True when no corrupt entries remain in the read path."""
+        return self.corrupt == 0 or self.quarantined == self.corrupt
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "scanned": self.scanned,
+            "valid": self.valid,
+            "corrupt": self.corrupt,
+            "version_mismatched": self.version_mismatched,
+            "quarantined": self.quarantined,
+        }
+
+    def describe(self) -> str:
+        line = (
+            f"audit: {self.scanned} scanned, {self.valid} valid, "
+            f"{self.corrupt} corrupt, {self.version_mismatched} version-mismatched"
+        )
+        if self.quarantined:
+            line += f", {self.quarantined} quarantined"
+        return line
 
 
 def normalize_key(key: Tuple) -> List:
@@ -266,6 +318,80 @@ class SweepResultStore(ResultStore):
             self.rejected_writes += 1
             return False
         self.writes += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def audit(self, quarantine: bool = False) -> StoreAudit:
+        """Walk every shard and classify each entry; optionally quarantine.
+
+        Classification mirrors the read path exactly: an entry the read
+        path would serve is ``valid``, one it would count as
+        ``corrupt_entries`` is ``corrupt`` (including key echoes that do
+        not match the file's content address), and one it would skip for
+        its ``version`` is ``version_mismatched``.  With
+        ``quarantine=True``, corrupt files are moved out of the read path
+        into ``<root>/quarantine/`` (atomic rename; nothing is deleted),
+        so subsequent reads of those keys become clean misses without
+        the per-read corruption accounting.  Version-mismatched entries
+        are never quarantined.
+
+        The walk itself never raises on bad data and runs read-only
+        unless quarantining.
+        """
+        scanned = valid = version_mismatched = quarantined = 0
+        corrupt_paths: List[str] = []
+        version_paths: List[str] = []
+        for path in sorted(self._entry_paths()):
+            scanned += 1
+            status = self._classify(path)
+            if status == "valid":
+                valid += 1
+                continue
+            if status == "version":
+                version_mismatched += 1
+                version_paths.append(str(path))
+                continue
+            corrupt_paths.append(str(path))
+            if quarantine and self._quarantine(path):
+                quarantined += 1
+        return StoreAudit(
+            scanned=scanned,
+            valid=valid,
+            corrupt=len(corrupt_paths),
+            version_mismatched=version_mismatched,
+            quarantined=quarantined,
+            corrupt_paths=tuple(corrupt_paths),
+            version_mismatched_paths=tuple(version_paths),
+        )
+
+    def _classify(self, path: Path) -> str:
+        """``"valid"`` / ``"version"`` / ``"corrupt"`` for one entry file."""
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return "corrupt"
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict):
+                raise ValueError("entry is not an object")
+            version = entry["version"]
+            key = entry["key"]
+            if content_address(key) != path.stem:
+                raise ValueError("key echo does not match content address")
+            if version != STORE_VERSION:
+                return "version"
+            decode_result(entry["result"])
+        except Exception:
+            return "corrupt"
+        return "valid"
+
+    def _quarantine(self, path: Path) -> bool:
+        destination = self.root / QUARANTINE_DIR / path.name
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            return False
         return True
 
     # ------------------------------------------------------------------

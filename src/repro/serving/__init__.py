@@ -15,7 +15,12 @@ The pieces (see ``docs/serving.md`` for the full tour):
 :mod:`repro.serving.batcher`
     :class:`ContinuousBatcher` — iteration-level (Orca-style) batching:
     prefill-prioritized FIFO admission under max-batch / KV-budget /
-    prefill-token caps, immediate eviction of finished sequences.
+    prefill-token caps, immediate eviction of finished sequences.  Under
+    overload it grows admission control: bounded queues with shedding
+    policies (``"reject-on-full"``, ``"shed-expired"``, ``"priority"``)
+    emitting structured :class:`ShedRecord` outcomes, and priority
+    preemption with KV eviction (:class:`PreemptionRecord`, anti-thrash
+    guarded) instead of silent infinite queueing.
 
 :mod:`repro.serving.simulator`
     :class:`ServingSimulator` + :class:`ServingScenario` — the
@@ -43,8 +48,19 @@ from repro.serving.arrivals import (
     PoissonArrivals,
     TraceArrivals,
 )
-from repro.serving.batcher import BatchPlan, ContinuousBatcher
-from repro.serving.metrics import LatencyReport, RequestRecord, exact_percentile
+from repro.serving.batcher import (
+    BatchPlan,
+    ContinuousBatcher,
+    PreemptionRecord,
+    SHED_POLICIES,
+    ShedRecord,
+)
+from repro.serving.metrics import (
+    LatencyReport,
+    PriorityClassStats,
+    RequestRecord,
+    exact_percentile,
+)
 from repro.serving.simulator import ServingScenario, ServingSimulator, compare_schemes
 
 __all__ = [
@@ -55,9 +71,13 @@ __all__ = [
     "InferenceRequest",
     "LatencyReport",
     "PoissonArrivals",
+    "PreemptionRecord",
+    "PriorityClassStats",
     "RequestRecord",
+    "SHED_POLICIES",
     "ServingScenario",
     "ServingSimulator",
+    "ShedRecord",
     "TraceArrivals",
     "compare_schemes",
     "exact_percentile",

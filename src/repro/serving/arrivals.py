@@ -19,15 +19,19 @@ two properties the serving determinism contract needs:
 
 Randomness uses :class:`random.Random` (Mersenne Twister), whose output
 for a given seed is specified and stable across platforms and Python
-versions.
+versions.  Quality-of-service attributes (deadlines, priorities) are
+sampled from a *derived* RNG seeded with ``f"{seed}-qos"`` so that
+turning them on never perturbs the arrival-time and length streams an
+existing seed already pins.
 """
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from random import Random
-from typing import Tuple, Union
+from typing import Optional, Tuple, Union
 
 from repro.errors import ServingError
 
@@ -38,11 +42,27 @@ __all__ = [
     "PoissonArrivals",
     "TraceArrivals",
     "TokenSpec",
+    "SlackSpec",
+    "PrioritySpec",
 ]
 
 #: A token count: fixed (``128``) or an inclusive ``(low, high)`` range
 #: sampled per request by the seeded processes.
 TokenSpec = Union[int, Tuple[int, int]]
+
+#: Deadline slack in microseconds past the arrival: ``None`` (no
+#: deadline), a fixed float, or an inclusive ``(low, high)`` range
+#: sampled per request from the derived QoS RNG.
+SlackSpec = Optional[Union[float, Tuple[float, float]]]
+
+#: A request priority: a fixed int (higher = more important) or a tuple
+#: of candidate priorities sampled uniformly per request.
+PrioritySpec = Union[int, Tuple[int, ...]]
+
+
+def _is_real(value: object) -> bool:
+    """True for int/float but not bool (which is an int subclass)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 @dataclass(frozen=True)
@@ -52,34 +72,67 @@ class InferenceRequest:
     ``decode_tokens`` counts *output* tokens including the first one
     (which the prefill iteration itself produces), so ``decode_tokens=1``
     is a prompt-only request that completes at the end of its prefill.
+
+    ``deadline_us`` is an *absolute* simulated time by which the request
+    must complete to be useful (``math.inf`` = no deadline); a batcher
+    running a deadline-aware shedding policy drops requests that can no
+    longer meet it.  ``priority`` orders requests under the ``"priority"``
+    policy — higher values are more important and may preempt lower ones.
     """
 
     request_id: int
     arrival_us: float
     prompt_tokens: int
     decode_tokens: int
+    deadline_us: float = math.inf
+    priority: int = 0
 
     def __post_init__(self) -> None:
-        if self.arrival_us < 0.0:
+        # `not (x >= 0)` instead of `x < 0` so NaN arrivals are rejected
+        # rather than silently defeating every downstream comparison.
+        if not _is_real(self.arrival_us) or not self.arrival_us >= 0.0:
             raise ServingError(
-                f"request {self.request_id}: arrival_us must be non-negative, "
+                f"request {self.request_id}: arrival_us must be a non-negative "
+                f"number, got {self.arrival_us!r}"
+            )
+        if math.isinf(self.arrival_us):
+            raise ServingError(
+                f"request {self.request_id}: arrival_us must be finite, "
                 f"got {self.arrival_us}"
             )
-        if self.prompt_tokens <= 0:
+        if not isinstance(self.prompt_tokens, int) or isinstance(
+            self.prompt_tokens, bool
+        ) or self.prompt_tokens <= 0:
             raise ServingError(
-                f"request {self.request_id}: prompt_tokens must be positive, "
-                f"got {self.prompt_tokens}"
+                f"request {self.request_id}: prompt_tokens must be a positive "
+                f"int, got {self.prompt_tokens!r}"
             )
-        if self.decode_tokens <= 0:
+        if not isinstance(self.decode_tokens, int) or isinstance(
+            self.decode_tokens, bool
+        ) or self.decode_tokens <= 0:
             raise ServingError(
-                f"request {self.request_id}: decode_tokens must be positive, "
-                f"got {self.decode_tokens}"
+                f"request {self.request_id}: decode_tokens must be a positive "
+                f"int, got {self.decode_tokens!r}"
+            )
+        if not _is_real(self.deadline_us) or not self.deadline_us > self.arrival_us:
+            raise ServingError(
+                f"request {self.request_id}: deadline_us must be a number past "
+                f"arrival ({self.arrival_us}), got {self.deadline_us!r}"
+            )
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise ServingError(
+                f"request {self.request_id}: priority must be an int, "
+                f"got {self.priority!r}"
             )
 
     @property
     def total_tokens(self) -> int:
         """Final KV-cache footprint: prompt plus every generated token."""
         return self.prompt_tokens + self.decode_tokens
+
+    def expired(self, now_us: float) -> bool:
+        """True once ``now_us`` has passed a finite deadline."""
+        return now_us > self.deadline_us
 
 
 def _check_token_spec(name: str, spec: TokenSpec) -> None:
@@ -100,6 +153,57 @@ def _sample_tokens(rng: Random, spec: TokenSpec) -> int:
     return rng.randint(spec[0], spec[1])
 
 
+def _check_slack_spec(name: str, spec: SlackSpec) -> None:
+    if spec is None:
+        return
+    if _is_real(spec):
+        if not spec > 0.0:
+            raise ServingError(f"{name} must be positive, got {spec}")
+        return
+    low, high = spec
+    if not (_is_real(low) and _is_real(high)) or low <= 0.0 or high < low:
+        raise ServingError(
+            f"{name} range must satisfy 0 < low <= high, got ({low}, {high})"
+        )
+
+
+def _check_priority_spec(name: str, spec: PrioritySpec) -> None:
+    if isinstance(spec, int) and not isinstance(spec, bool):
+        return
+    if (
+        isinstance(spec, tuple)
+        and spec
+        and all(isinstance(p, int) and not isinstance(p, bool) for p in spec)
+    ):
+        return
+    raise ServingError(
+        f"{name} must be an int or a non-empty tuple of ints, got {spec!r}"
+    )
+
+
+def _sample_qos(
+    qos_rng: Random, arrival_us: float, slack: SlackSpec, priorities: PrioritySpec
+) -> Tuple[float, int]:
+    """Per-request (deadline_us, priority) draw from the derived QoS RNG.
+
+    The draw order is fixed (slack first, then priority) and each draw
+    happens exactly once per request, so adding requests never reshuffles
+    earlier ones — the QoS stream is prefix-stable just like the arrival
+    stream.
+    """
+    if slack is None:
+        deadline_us = math.inf
+    elif _is_real(slack):
+        deadline_us = arrival_us + float(slack)
+    else:
+        deadline_us = arrival_us + qos_rng.uniform(float(slack[0]), float(slack[1]))
+    if isinstance(priorities, tuple):
+        priority = priorities[qos_rng.randrange(len(priorities))]
+    else:
+        priority = priorities
+    return deadline_us, priority
+
+
 class ArrivalProcess(ABC):
     """A deterministic source of :class:`InferenceRequest` sequences."""
 
@@ -118,12 +222,20 @@ class ArrivalProcess(ABC):
 
 @dataclass(frozen=True)
 class FixedRateArrivals(ArrivalProcess):
-    """One request every ``interval_us`` of simulated time, fixed lengths."""
+    """One request every ``interval_us`` of simulated time, fixed lengths.
+
+    ``deadline_slack_us`` (fixed, optional) gives every request an
+    absolute deadline of ``arrival + slack``; ``priority`` tags every
+    request with the same class.  Both default to the legacy no-QoS
+    behavior.
+    """
 
     interval_us: float
     prompt_tokens: int = 128
     decode_tokens: int = 16
     start_us: float = 0.0
+    deadline_slack_us: Optional[float] = None
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.interval_us <= 0.0:
@@ -132,15 +244,30 @@ class FixedRateArrivals(ArrivalProcess):
             raise ServingError(f"start_us must be non-negative, got {self.start_us}")
         _check_token_spec("prompt_tokens", self.prompt_tokens)
         _check_token_spec("decode_tokens", self.decode_tokens)
+        if self.deadline_slack_us is not None and not (
+            _is_real(self.deadline_slack_us) and self.deadline_slack_us > 0.0
+        ):
+            raise ServingError(
+                f"deadline_slack_us must be positive, got {self.deadline_slack_us!r}"
+            )
+        if not isinstance(self.priority, int) or isinstance(self.priority, bool):
+            raise ServingError(f"priority must be an int, got {self.priority!r}")
 
     def generate(self, count: int) -> Tuple[InferenceRequest, ...]:
         self._check_count(count)
+        slack = self.deadline_slack_us
         return tuple(
             InferenceRequest(
                 request_id=index,
                 arrival_us=self.start_us + index * self.interval_us,
                 prompt_tokens=self.prompt_tokens,
                 decode_tokens=self.decode_tokens,
+                deadline_us=(
+                    math.inf
+                    if slack is None
+                    else self.start_us + index * self.interval_us + slack
+                ),
+                priority=self.priority,
             )
             for index in range(count)
         )
@@ -154,33 +281,47 @@ class PoissonArrivals(ArrivalProcess):
     high)`` ranges sampled (uniformly) from the same seeded RNG as the
     gaps, so one seed pins the entire workload — arrival times *and*
     length mix.
+
+    ``deadline_slack_us`` and ``priorities`` attach QoS attributes
+    sampled from a *derived* RNG (``Random(f"{seed}-qos")``), so enabling
+    them leaves the arrival/length stream of an existing seed untouched.
     """
 
     rate_rps: float
     prompt_tokens: TokenSpec = 128
     decode_tokens: TokenSpec = 16
     seed: int = 0
+    deadline_slack_us: SlackSpec = None
+    priorities: PrioritySpec = 0
 
     def __post_init__(self) -> None:
         if self.rate_rps <= 0.0:
             raise ServingError(f"rate_rps must be positive, got {self.rate_rps}")
         _check_token_spec("prompt_tokens", self.prompt_tokens)
         _check_token_spec("decode_tokens", self.decode_tokens)
+        _check_slack_spec("deadline_slack_us", self.deadline_slack_us)
+        _check_priority_spec("priorities", self.priorities)
 
     def generate(self, count: int) -> Tuple[InferenceRequest, ...]:
         self._check_count(count)
         rng = Random(self.seed)
+        qos_rng = Random(f"{self.seed}-qos")
         rate_per_us = self.rate_rps / 1e6
         clock = 0.0
         requests = []
         for index in range(count):
             clock += rng.expovariate(rate_per_us)
+            deadline_us, priority = _sample_qos(
+                qos_rng, clock, self.deadline_slack_us, self.priorities
+            )
             requests.append(
                 InferenceRequest(
                     request_id=index,
                     arrival_us=clock,
                     prompt_tokens=_sample_tokens(rng, self.prompt_tokens),
                     decode_tokens=_sample_tokens(rng, self.decode_tokens),
+                    deadline_us=deadline_us,
+                    priority=priority,
                 )
             )
         return tuple(requests)
@@ -190,10 +331,17 @@ class PoissonArrivals(ArrivalProcess):
 class TraceArrivals(ArrivalProcess):
     """Replayed arrivals from an explicit trace.
 
-    Entries are ``(arrival_us, prompt_tokens, decode_tokens)`` tuples or
-    :class:`InferenceRequest` objects (e.g. the output of another
-    process's :meth:`~ArrivalProcess.generate`) — both normalize to
-    tuples, so two traces describing the same arrivals compare equal.
+    Entries are ``(arrival_us, prompt_tokens, decode_tokens)`` 3-tuples,
+    ``(arrival_us, prompt_tokens, decode_tokens, deadline_us, priority)``
+    5-tuples, or :class:`InferenceRequest` objects (e.g. the output of
+    another process's :meth:`~ArrivalProcess.generate`).  Everything
+    normalizes to tuples — requests with default QoS normalize down to
+    3-tuples — so two traces describing the same arrivals compare equal.
+
+    Every entry is validated at construction: arity, numeric types,
+    finite non-negative arrivals (NaN used to slip through the monotone
+    check and poison downstream inter-arrival gaps), and monotone
+    ordering by arrival time.
     """
 
     trace: Tuple[Tuple[float, int, int], ...]
@@ -201,16 +349,79 @@ class TraceArrivals(ArrivalProcess):
     def __post_init__(self) -> None:
         if not self.trace:
             raise ServingError("TraceArrivals needs a non-empty trace")
-        normalized = tuple(
-            (entry.arrival_us, entry.prompt_tokens, entry.decode_tokens)
-            if isinstance(entry, InferenceRequest)
-            else tuple(entry)
-            for entry in self.trace
-        )
-        object.__setattr__(self, "trace", normalized)
+        normalized = []
+        for position, entry in enumerate(self.trace):
+            if isinstance(entry, InferenceRequest):
+                if entry.deadline_us == math.inf and entry.priority == 0:
+                    entry = (entry.arrival_us, entry.prompt_tokens, entry.decode_tokens)
+                else:
+                    entry = (
+                        entry.arrival_us,
+                        entry.prompt_tokens,
+                        entry.decode_tokens,
+                        entry.deadline_us,
+                        entry.priority,
+                    )
+            elif isinstance(entry, (tuple, list)):
+                entry = tuple(entry)
+            else:
+                raise ServingError(
+                    f"trace entry {position} must be a tuple or InferenceRequest, "
+                    f"got {type(entry).__name__}"
+                )
+            if len(entry) not in (3, 5):
+                raise ServingError(
+                    f"trace entry {position} must have 3 or 5 fields "
+                    f"(arrival_us, prompt_tokens, decode_tokens[, deadline_us, "
+                    f"priority]), got {len(entry)}"
+                )
+            arrival_us = entry[0]
+            if not _is_real(arrival_us) or not math.isfinite(arrival_us):
+                raise ServingError(
+                    f"trace entry {position}: arrival_us must be a finite "
+                    f"number, got {arrival_us!r}"
+                )
+            if arrival_us < 0.0:
+                raise ServingError(
+                    f"trace entry {position}: arrival_us must be non-negative, "
+                    f"got {arrival_us}"
+                )
+            for name, value in (
+                ("prompt_tokens", entry[1]),
+                ("decode_tokens", entry[2]),
+            ):
+                if (
+                    not isinstance(value, int)
+                    or isinstance(value, bool)
+                    or value <= 0
+                ):
+                    raise ServingError(
+                        f"trace entry {position}: {name} must be a positive "
+                        f"int, got {value!r}"
+                    )
+            if len(entry) == 5:
+                deadline_us, priority = entry[3], entry[4]
+                if (
+                    not _is_real(deadline_us)
+                    or math.isnan(deadline_us)
+                    or not deadline_us > arrival_us
+                ):
+                    raise ServingError(
+                        f"trace entry {position}: deadline_us must be a number "
+                        f"past arrival ({arrival_us}), got {deadline_us!r}"
+                    )
+                if not isinstance(priority, int) or isinstance(priority, bool):
+                    raise ServingError(
+                        f"trace entry {position}: priority must be an int, "
+                        f"got {priority!r}"
+                    )
+                if deadline_us == math.inf and priority == 0:
+                    entry = entry[:3]
+            normalized.append(entry)
+        object.__setattr__(self, "trace", tuple(normalized))
         previous = 0.0
-        for position, entry in enumerate(normalized):
-            arrival_us, _prompt, _decode = entry
+        for position, entry in enumerate(self.trace):
+            arrival_us = entry[0]
             if arrival_us < previous:
                 raise ServingError(
                     f"trace entry {position} arrives at {arrival_us} before its "
@@ -224,12 +435,18 @@ class TraceArrivals(ArrivalProcess):
             raise ServingError(
                 f"trace holds {len(self.trace)} requests but {count} were asked for"
             )
-        return tuple(
-            InferenceRequest(
-                request_id=index,
-                arrival_us=float(arrival_us),
-                prompt_tokens=prompt,
-                decode_tokens=decode,
+        requests = []
+        for index, entry in enumerate(self.trace[:count]):
+            deadline_us = float(entry[3]) if len(entry) == 5 else math.inf
+            priority = entry[4] if len(entry) == 5 else 0
+            requests.append(
+                InferenceRequest(
+                    request_id=index,
+                    arrival_us=float(entry[0]),
+                    prompt_tokens=entry[1],
+                    decode_tokens=entry[2],
+                    deadline_us=deadline_us,
+                    priority=priority,
+                )
             )
-            for index, (arrival_us, prompt, decode) in enumerate(self.trace[:count])
-        )
+        return tuple(requests)

@@ -21,8 +21,21 @@ from dataclasses import asdict, dataclass, fields
 from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ServingError
+from repro.serving.batcher import ShedRecord
 
-__all__ = ["exact_percentile", "RequestRecord", "LatencyReport"]
+__all__ = [
+    "exact_percentile",
+    "RequestRecord",
+    "LatencyReport",
+    "PriorityClassStats",
+]
+
+
+def _sanitize(value: object) -> object:
+    """JSON has no Infinity; lower non-finite floats to None."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
 
 
 def exact_percentile(values: Sequence[float], q: float) -> float:
@@ -70,6 +83,35 @@ class RequestRecord:
     total_us: float
     ttft_us: float
     finish_us: float
+    #: QoS attributes and restart accounting (legacy defaults for
+    #: scenarios that never shed or preempt).
+    priority: int = 0
+    deadline_us: float = math.inf
+    preemptions: int = 0
+
+    @property
+    def met_deadline(self) -> bool:
+        """True when the request completed by its (possibly infinite) deadline."""
+        return self.finish_us <= self.deadline_us
+
+
+@dataclass(frozen=True)
+class PriorityClassStats:
+    """Aggregate outcome of one priority class under (over)load.
+
+    The per-class view is what makes a priority policy auditable: under
+    2x overload the high class should keep its percentiles while the low
+    class absorbs the shedding.  ``p50/p99`` are 0.0 for a class with no
+    completions (everything shed).
+    """
+
+    priority: int
+    completed: int
+    shed: int
+    deadline_hits: int
+    p50_total_us: float
+    p99_total_us: float
+    p99_ttft_us: float
 
 
 @dataclass(frozen=True)
@@ -110,6 +152,16 @@ class LatencyReport:
     goodput_rps: float
     tokens_per_s: float
     records: Tuple[RequestRecord, ...]
+    #: Overload-resilience counters (all legacy-zero for scenarios that
+    #: never shed or preempt — reports from old and new runs compare
+    #: equal field-for-field).
+    shed: int = 0
+    preemptions: int = 0
+    restarted_tokens: int = 0
+    kv_reserved_peak: int = 0
+    deadline_hits: int = 0
+    priority_classes: Tuple[PriorityClassStats, ...] = ()
+    shed_records: Tuple[ShedRecord, ...] = ()
 
     @classmethod
     def from_records(
@@ -129,16 +181,23 @@ class LatencyReport:
         sweep_cache_misses: int,
         store_hits: int,
         slo_us: float = math.inf,
+        shed_records: Sequence[ShedRecord] = (),
+        preemptions: int = 0,
+        restarted_tokens: int = 0,
+        kv_reserved_peak: int = 0,
     ) -> "LatencyReport":
-        if not records:
-            raise ServingError("a LatencyReport needs at least one completed request")
-        if simulated_us <= 0.0:
+        if not records and not shed_records:
+            raise ServingError(
+                "a LatencyReport needs at least one completed or shed request"
+            )
+        if simulated_us < 0.0 or (records and simulated_us <= 0.0):
             raise ServingError(f"simulated_us must be positive, got {simulated_us}")
         totals = [record.total_us for record in records]
         ttfts = [record.ttft_us for record in records]
         seconds = simulated_us / 1e6
         within_slo = sum(1 for total in totals if total <= slo_us)
         tokens = sum(record.prompt_tokens + record.decode_tokens for record in records)
+        deadline_hits = sum(1 for record in records if record.met_deadline)
         return cls(
             scheme=scheme,
             policy=policy,
@@ -154,42 +213,86 @@ class LatencyReport:
             sweep_cache_misses=sweep_cache_misses,
             store_hits=store_hits,
             slo_us=slo_us,
-            p50_total_us=exact_percentile(totals, 50.0),
-            p90_total_us=exact_percentile(totals, 90.0),
-            p99_total_us=exact_percentile(totals, 99.0),
-            mean_total_us=sum(totals) / len(totals),
-            p50_ttft_us=exact_percentile(ttfts, 50.0),
-            p99_ttft_us=exact_percentile(ttfts, 99.0),
-            throughput_rps=len(records) / seconds,
-            goodput_rps=within_slo / seconds,
-            tokens_per_s=tokens / seconds,
+            p50_total_us=exact_percentile(totals, 50.0) if totals else 0.0,
+            p90_total_us=exact_percentile(totals, 90.0) if totals else 0.0,
+            p99_total_us=exact_percentile(totals, 99.0) if totals else 0.0,
+            mean_total_us=sum(totals) / len(totals) if totals else 0.0,
+            p50_ttft_us=exact_percentile(ttfts, 50.0) if ttfts else 0.0,
+            p99_ttft_us=exact_percentile(ttfts, 99.0) if ttfts else 0.0,
+            throughput_rps=len(records) / seconds if seconds > 0.0 else 0.0,
+            goodput_rps=within_slo / seconds if seconds > 0.0 else 0.0,
+            tokens_per_s=tokens / seconds if seconds > 0.0 else 0.0,
             records=tuple(records),
+            shed=len(shed_records),
+            preemptions=preemptions,
+            restarted_tokens=restarted_tokens,
+            kv_reserved_peak=kv_reserved_peak,
+            deadline_hits=deadline_hits,
+            priority_classes=cls._priority_classes(records, shed_records),
+            shed_records=tuple(shed_records),
         )
+
+    @staticmethod
+    def _priority_classes(
+        records: Sequence[RequestRecord], shed_records: Sequence[ShedRecord]
+    ) -> Tuple[PriorityClassStats, ...]:
+        priorities = sorted(
+            {r.priority for r in records} | {s.priority for s in shed_records},
+            reverse=True,
+        )
+        classes = []
+        for priority in priorities:
+            completed = [r for r in records if r.priority == priority]
+            shed = sum(1 for s in shed_records if s.priority == priority)
+            totals = [r.total_us for r in completed]
+            ttfts = [r.ttft_us for r in completed]
+            classes.append(
+                PriorityClassStats(
+                    priority=priority,
+                    completed=len(completed),
+                    shed=shed,
+                    deadline_hits=sum(1 for r in completed if r.met_deadline),
+                    p50_total_us=exact_percentile(totals, 50.0) if totals else 0.0,
+                    p99_total_us=exact_percentile(totals, 99.0) if totals else 0.0,
+                    p99_ttft_us=exact_percentile(ttfts, 99.0) if ttfts else 0.0,
+                )
+            )
+        return tuple(classes)
 
     # ------------------------------------------------------------------
     def summary(self) -> Dict[str, object]:
         """The aggregate metrics without the per-request population."""
-        skip = {"records"}
+        skip = {"records", "shed_records"}
         out: Dict[str, object] = {}
         for spec in fields(self):
             if spec.name in skip:
                 continue
             value = getattr(self, spec.name)
-            if isinstance(value, float) and math.isinf(value):
-                value = None  # JSON has no Infinity
-            out[spec.name] = value
+            if spec.name == "priority_classes":
+                value = [
+                    {k: _sanitize(v) for k, v in asdict(stats).items()}
+                    for stats in self.priority_classes
+                ]
+            out[spec.name] = _sanitize(value)
         return out
 
     def to_dict(self) -> Dict[str, object]:
         """The full report as plain JSON types (records included)."""
         out = self.summary()
-        out["records"] = [asdict(record) for record in self.records]
+        out["records"] = [
+            {k: _sanitize(v) for k, v in asdict(record).items()}
+            for record in self.records
+        ]
+        out["shed_records"] = [asdict(record) for record in self.shed_records]
         return out
 
     def describe(self) -> str:
-        return (
+        line = (
             f"{self.scheme}@{self.arch}: p50 {self.p50_total_us:.0f}us, "
             f"p99 {self.p99_total_us:.0f}us, ttft p50 {self.p50_ttft_us:.0f}us, "
             f"goodput {self.goodput_rps:.1f} req/s "
             f"({self.completed}/{self.requests} in {self.simulated_us / 1e6:.3f}s)"
         )
+        if self.shed or self.preemptions:
+            line += f" [shed {self.shed}, preempted {self.preemptions}]"
+        return line

@@ -3,21 +3,29 @@
 ``repro.testing`` is shipped with the library (not hidden in the test
 tree) so downstream users can chaos-test their own pipelines and policies
 against the same fault taxonomy the library's own recovery paths are
-verified with.  See :mod:`repro.testing.faults`.
+verified with.  See :mod:`repro.testing.faults` — sweep-level faults
+(:class:`FaultPlan`) and request-level serving faults
+(:class:`ServingFaultPlan`).
 """
 
 from repro.testing.faults import (
     FAULT_KINDS,
+    SERVING_FAULT_KINDS,
     FaultPlan,
     FaultSpec,
+    ServingFaultPlan,
+    ServingFaultSpec,
     active_fault_plan,
     inject_faults,
 )
 
 __all__ = [
     "FAULT_KINDS",
+    "SERVING_FAULT_KINDS",
     "FaultPlan",
     "FaultSpec",
+    "ServingFaultPlan",
+    "ServingFaultSpec",
     "active_fault_plan",
     "inject_faults",
 ]

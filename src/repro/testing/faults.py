@@ -59,7 +59,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Tuple
+from typing import Callable, Iterable, Optional, Sequence, Tuple
 
 from repro.errors import InjectedCrashError, InjectedFaultError, SimulationError
 
@@ -339,3 +339,220 @@ def run_point_with_faults(
         return result
     # corrupt_result: evaluate cleanly, then damage the payload.
     return _corrupt_result(evaluate())
+
+
+# ----------------------------------------------------------------------
+# Request-level serving faults (consumed by repro.serving's simulator)
+# ----------------------------------------------------------------------
+
+#: Every serving fault kind a :class:`ServingFaultPlan` may contain, in
+#: the order :meth:`ServingFaultPlan.seeded` draws them.
+SERVING_FAULT_KINDS: Tuple[str, ...] = ("straggler", "drop_completion", "burst")
+
+
+@dataclass(frozen=True)
+class ServingFaultSpec:
+    """One planned request-level serving fault.
+
+    ``target`` is an iteration index for ``straggler`` faults and a
+    request id for ``drop_completion`` / ``burst`` faults.
+    """
+
+    #: One of :data:`SERVING_FAULT_KINDS`.
+    kind: str
+    #: Iteration index (straggler) or request id (drop_completion, burst).
+    target: int
+    #: For ``straggler``: the duration multiplier applied to the iteration.
+    factor: float = 4.0
+    #: For ``burst``: how many subsequent arrivals collapse onto the
+    #: target request's arrival time (the spike width).
+    span: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVING_FAULT_KINDS:
+            raise SimulationError(
+                f"unknown serving fault kind {self.kind!r}; "
+                f"choose one of {SERVING_FAULT_KINDS}"
+            )
+        if self.target < 0:
+            raise SimulationError(
+                f"serving fault target must be non-negative, got {self.target}"
+            )
+        if self.factor <= 0.0:
+            raise SimulationError(
+                f"straggler factor must be positive, got {self.factor}"
+            )
+        if self.span < 1:
+            raise SimulationError(f"burst span must be >= 1, got {self.span}")
+
+
+class ServingFaultPlan:
+    """A deterministic assignment of request-level faults to a serving run.
+
+    The serving counterpart of :class:`FaultPlan`, consumed by
+    :meth:`repro.serving.ServingSimulator.run`:
+
+    ``straggler``
+        Iteration ``target`` takes ``factor``x its simulated duration —
+        a slow kernel launch, a paused clock, an unlucky SM.  Applied
+        *after* the sweep-cache lookup, so cached costs are untouched
+        and a fault-free replay stays bit-identical.
+    ``drop_completion``
+        Request ``target``'s completion is lost the first time it
+        finishes: the batcher re-queues it with all but the final token
+        already generated (recompute on re-prefill), so it terminally
+        resolves as completed-or-shed instead of vanishing.
+    ``burst``
+        The ``span - 1`` arrivals after request ``target`` collapse onto
+        its arrival time — a synchronized client spike.  Rewrites the
+        arrival schedule up front (monotonicity preserved; absolute
+        deadlines kept).
+
+    At most one fault per ``(kind, target)``; plans are immutable and
+    deterministic per seed.
+    """
+
+    def __init__(
+        self, faults: Iterable[ServingFaultSpec] = (), seed: Optional[int] = None
+    ):
+        self.faults: Tuple[ServingFaultSpec, ...] = tuple(faults)
+        self.seed = seed
+        stragglers = {}
+        drops = set()
+        bursts = {}
+        for spec in self.faults:
+            if spec.kind == "straggler":
+                if spec.target in stragglers:
+                    raise SimulationError(
+                        f"ServingFaultPlan has two straggler faults for "
+                        f"iteration {spec.target}"
+                    )
+                stragglers[spec.target] = spec.factor
+            elif spec.kind == "drop_completion":
+                if spec.target in drops:
+                    raise SimulationError(
+                        f"ServingFaultPlan has two drop_completion faults for "
+                        f"request {spec.target}"
+                    )
+                drops.add(spec.target)
+            else:
+                if spec.target in bursts:
+                    raise SimulationError(
+                        f"ServingFaultPlan has two burst faults for "
+                        f"request {spec.target}"
+                    )
+                bursts[spec.target] = spec.span
+        self._stragglers = stragglers
+        self._drops = frozenset(drops)
+        self._bursts = bursts
+
+    @classmethod
+    def seeded(
+        cls,
+        num_requests: int,
+        seed: int,
+        *,
+        straggler: float = 0.0,
+        drop_completion: float = 0.0,
+        burst: float = 0.0,
+        iterations: Optional[int] = None,
+        straggler_factor: float = 4.0,
+        burst_span: int = 4,
+    ) -> "ServingFaultPlan":
+        """Draw serving faults from seeded per-target fractions.
+
+        ``straggler`` is a per-iteration probability over ``iterations``
+        candidate iterations (default ``4 * num_requests``, a generous
+        bound for continuous batching); ``drop_completion`` and ``burst``
+        are per-request probabilities.  Same inputs, same plan — chaos
+        runs are reproducible bug reports, not flakes.
+        """
+        for name, fraction in (
+            ("straggler", straggler),
+            ("drop_completion", drop_completion),
+            ("burst", burst),
+        ):
+            if not 0.0 <= fraction <= 1.0:
+                raise SimulationError(
+                    f"serving fault fraction {name} must be in [0, 1], "
+                    f"got {fraction}"
+                )
+        if num_requests <= 0:
+            raise SimulationError(
+                f"num_requests must be positive, got {num_requests}"
+            )
+        candidate_iterations = (
+            4 * num_requests if iterations is None else iterations
+        )
+        rng = random.Random(seed)
+        faults = []
+        for index in range(candidate_iterations):
+            if rng.random() < straggler:
+                faults.append(
+                    ServingFaultSpec(
+                        kind="straggler", target=index, factor=straggler_factor
+                    )
+                )
+        for request_id in range(num_requests):
+            if rng.random() < drop_completion:
+                faults.append(
+                    ServingFaultSpec(kind="drop_completion", target=request_id)
+                )
+        for request_id in range(num_requests):
+            if rng.random() < burst:
+                faults.append(
+                    ServingFaultSpec(kind="burst", target=request_id, span=burst_span)
+                )
+        return cls(faults, seed=seed)
+
+    # ------------------------------------------------------------------
+    def straggler_factor(self, iteration: int) -> float:
+        """Duration multiplier for ``iteration`` (1.0 = no fault)."""
+        return self._stragglers.get(iteration, 1.0)
+
+    def drops_completion(self, request_id: int) -> bool:
+        """True when ``request_id``'s first completion is planned to be lost."""
+        return request_id in self._drops
+
+    def apply_to_arrivals(self, requests: Sequence) -> tuple:
+        """Rewrite an arrival schedule with the plan's burst spikes.
+
+        For each burst anchored at request index ``i``, the following
+        ``span - 1`` arrivals are pulled down to the anchor's arrival
+        time.  Arrival order stays monotone (times are only lowered, and
+        only onto an earlier entry of the same schedule); absolute
+        deadlines are untouched, so a burst *tightens* effective slack —
+        exactly what a client-side retry storm does.
+        """
+        from dataclasses import replace
+
+        requests = tuple(requests)
+        if not self._bursts:
+            return requests
+        arrivals = [request.arrival_us for request in requests]
+        for index in sorted(self._bursts):
+            if index >= len(arrivals):
+                continue
+            span = self._bursts[index]
+            anchor = arrivals[index]
+            for position in range(index + 1, min(index + span, len(arrivals))):
+                arrivals[position] = anchor
+        return tuple(
+            request
+            if arrivals[position] == request.arrival_us
+            else replace(request, arrival_us=arrivals[position])
+            for position, request in enumerate(requests)
+        )
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __repr__(self) -> str:
+        kinds = {}
+        for spec in self.faults:
+            kinds[spec.kind] = kinds.get(spec.kind, 0) + 1
+        summary = ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items()))
+        return (
+            f"ServingFaultPlan(seed={self.seed}, {len(self.faults)} faults: "
+            f"{summary or 'none'})"
+        )

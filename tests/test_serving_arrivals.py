@@ -146,3 +146,158 @@ class TestTraceArrivals:
     def test_empty_trace_rejected(self):
         with pytest.raises(ServingError):
             TraceArrivals(())
+
+
+class TestQosFields:
+    def test_defaults_are_neutral(self):
+        request = InferenceRequest(
+            request_id=0, arrival_us=0.0, prompt_tokens=8, decode_tokens=4
+        )
+        assert request.deadline_us == float("inf")
+        assert request.priority == 0
+        assert not request.expired(1e30)
+
+    def test_expired_is_strict(self):
+        request = InferenceRequest(
+            request_id=0, arrival_us=0.0, prompt_tokens=8, decode_tokens=4,
+            deadline_us=100.0,
+        )
+        assert not request.expired(100.0)
+        assert request.expired(100.1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(arrival_us=float("nan")),  # NaN defeats ordinary comparisons
+            dict(arrival_us=float("inf")),
+            dict(deadline_us=float("nan")),
+            dict(deadline_us=0.0),  # not after arrival
+            dict(priority=1.5),
+            dict(priority=True),  # bool is not an int here
+            dict(arrival_us="soon"),
+        ],
+    )
+    def test_malformed_qos_rejected(self, kwargs):
+        base = dict(
+            request_id=0, arrival_us=5.0, prompt_tokens=8, decode_tokens=4
+        )
+        base.update(kwargs)
+        with pytest.raises(ServingError):
+            InferenceRequest(**base)
+
+    def test_poisson_qos_sampling_is_deterministic(self):
+        kwargs = dict(
+            rate_rps=500.0,
+            prompt_tokens=(8, 64),
+            seed=11,
+            deadline_slack_us=(1_000.0, 5_000.0),
+            priorities=(0, 1, 2),
+        )
+        a = PoissonArrivals(**kwargs).generate(30)
+        b = PoissonArrivals(**kwargs).generate(30)
+        assert a == b
+        assert {r.priority for r in a} <= {0, 1, 2}
+        for request in a:
+            assert (
+                request.arrival_us + 1_000.0
+                <= request.deadline_us
+                <= request.arrival_us + 5_000.0
+            )
+        assert PoissonArrivals(**kwargs).generate(30)[:10] == (
+            PoissonArrivals(**kwargs).generate(10)
+        )
+
+    def test_qos_sampling_leaves_base_stream_untouched(self):
+        """The QoS draws come from a derived RNG: enabling them must not
+        perturb the seeded arrival/shape stream existing configs pin."""
+        plain = PoissonArrivals(rate_rps=500.0, prompt_tokens=(8, 64), seed=11)
+        qos = PoissonArrivals(
+            rate_rps=500.0,
+            prompt_tokens=(8, 64),
+            seed=11,
+            deadline_slack_us=2_000.0,
+            priorities=(0, 3),
+        )
+        for before, after in zip(plain.generate(40), qos.generate(40)):
+            assert before.arrival_us == after.arrival_us
+            assert before.prompt_tokens == after.prompt_tokens
+            assert before.decode_tokens == after.decode_tokens
+
+    def test_fixed_rate_qos_is_uniform(self):
+        process = FixedRateArrivals(
+            interval_us=100.0,
+            prompt_tokens=16,
+            decode_tokens=4,
+            deadline_slack_us=500.0,
+            priority=2,
+        )
+        for request in process.generate(5):
+            assert request.deadline_us == request.arrival_us + 500.0
+            assert request.priority == 2
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ServingError):
+            PoissonArrivals(rate_rps=1.0, deadline_slack_us=-1.0)
+        with pytest.raises(ServingError):
+            PoissonArrivals(rate_rps=1.0, deadline_slack_us=(500.0, 100.0))
+        with pytest.raises(ServingError):
+            PoissonArrivals(rate_rps=1.0, priorities=())
+        with pytest.raises(ServingError):
+            FixedRateArrivals(interval_us=1.0, deadline_slack_us=0.0)
+
+
+class TestTraceValidation:
+    """Regression: NaN and malformed trace entries used to slip through
+    (NaN defeats ``<``-based monotonicity checks) and produce garbage
+    inter-arrival gaps deep inside the serving loop."""
+
+    def test_nan_arrival_rejected(self):
+        with pytest.raises(ServingError, match="arrival"):
+            TraceArrivals(((0.0, 16, 2), (float("nan"), 16, 2)))
+
+    def test_nan_only_trace_rejected(self):
+        with pytest.raises(ServingError):
+            TraceArrivals(((float("nan"), 16, 2),))
+
+    def test_infinite_arrival_rejected(self):
+        with pytest.raises(ServingError):
+            TraceArrivals(((float("inf"), 16, 2),))
+
+    @pytest.mark.parametrize(
+        "entry",
+        [
+            (0.0, 16),  # wrong arity
+            (0.0, 16, 2, 100.0),  # wrong arity (4 is neither 3 nor 5)
+            ("0.0", 16, 2),  # non-numeric arrival
+            (0.0, 16.5, 2),  # fractional tokens
+            (0.0, True, 2),  # bool masquerading as int
+            (0.0, 16, 0),  # non-positive decode
+            (-1.0, 16, 2),  # negative arrival
+            "not a tuple",
+            (0.0, 16, 2, float("nan"), 0),  # NaN deadline in a 5-tuple
+            (0.0, 16, 2, 100.0, 1.5),  # non-int priority
+        ],
+    )
+    def test_malformed_entries_raise_structured_errors(self, entry):
+        with pytest.raises(ServingError):
+            TraceArrivals(((0.0, 8, 1), entry))
+
+    def test_five_tuple_traces_carry_qos(self):
+        trace = TraceArrivals(((0.0, 16, 2, 500.0, 3), (10.0, 8, 1, 700.0, 0)))
+        first, second = trace.generate(2)
+        assert first.deadline_us == 500.0 and first.priority == 3
+        assert second.deadline_us == 700.0 and second.priority == 0
+
+    def test_qos_requests_round_trip_through_traces(self):
+        source = PoissonArrivals(
+            rate_rps=100.0, seed=9, deadline_slack_us=1_000.0, priorities=(0, 2)
+        )
+        requests = source.generate(6)
+        assert TraceArrivals(requests).generate(6) == requests
+
+    def test_default_qos_five_tuples_equal_three_tuples(self):
+        import math
+
+        wide = TraceArrivals(((0.0, 16, 2, math.inf, 0),))
+        narrow = TraceArrivals(((0.0, 16, 2),))
+        assert wide == narrow

@@ -346,3 +346,112 @@ class TestEndToEnd:
         assert failure.attempts == 1
         assert failure.error_type
         assert recovered.ok and not recovered.cached
+
+
+class TestCancellationAndTimeouts:
+    """Graceful cancellation: waiters release, evaluations are never poisoned."""
+
+    def point(self, workload):
+        return SweepPoint(scheme="cusync", policy="TileSync", arch=workload.arch)
+
+    def test_cancel_before_start_skips_evaluation(self, graph, workload):
+        from repro.service import JobCancelled
+
+        worker = FakeWorker(delay_s=0.05)
+
+        async def scenario():
+            with SweepService(session=Session(arch=workload.arch), worker=worker) as service:
+                job = await service.submit([(graph, self.point(workload))])
+                job.cancel()
+                assert job.cancelled
+                (outcome,) = await job.outcomes()
+                await service.drain()
+                return service, outcome
+
+        service, outcome = run(scenario())
+        assert outcome.source == "cancelled"
+        assert isinstance(outcome.result, JobCancelled)
+        assert outcome.result.reason == "cancelled"
+        assert not outcome.result.ok and not outcome.ok
+        assert "cancelled" in outcome.result.describe()
+        assert worker.calls == 0  # nothing was ever evaluated
+        assert service.points_cancelled == 1
+        assert service.stats()["points_cancelled"] == 1
+
+    def test_cancel_does_not_poison_coalesced_jobs(self, graph, workload):
+        """The headline property: job A cancels mid-flight; job B, coalesced
+        on the same point, still receives the real result."""
+        from repro.service import JobCancelled
+
+        point = self.point(workload)
+        worker = FakeWorker(delay_s=0.05)
+
+        async def scenario():
+            with SweepService(session=Session(arch=workload.arch), worker=worker) as service:
+                job_a = await service.submit([(graph, point)])
+                await asyncio.sleep(0.01)  # resolver is now in flight
+                job_b = await service.submit([(graph, point)])
+                job_a.cancel()
+                (outcome_a,) = await job_a.outcomes()
+                (outcome_b,) = await job_b.outcomes()
+                await service.drain()
+                return service, outcome_a, outcome_b
+
+        service, outcome_a, outcome_b = run(scenario())
+        assert isinstance(outcome_a.result, JobCancelled)
+        assert outcome_a.result.waited_s >= 0.0
+        assert outcome_b.ok
+        assert outcome_b.source == "coalesced"
+        assert outcome_b.result.total_time_us > 0.0
+        assert worker.calls == 1  # the evaluation ran exactly once, to completion
+
+    def test_cancel_keeps_already_resolved_points(self, graph, workload):
+        from repro.service import JobCancelled
+
+        point = self.point(workload)
+        slow_graph = graph  # same graph, different (uncacheable) point
+        slow_point = SweepPoint(scheme="streamsync", policy=None, arch=workload.arch)
+        worker = FakeWorker(delay_s=0.05)
+
+        async def scenario():
+            with SweepService(session=Session(arch=workload.arch), worker=worker) as service:
+                await service.sweep([(graph, point)])  # pre-warm the memory tier
+                job = await service.submit([(graph, point), (slow_graph, slow_point)])
+                await asyncio.sleep(0.01)  # memory hit resolves immediately
+                job.cancel()
+                outcomes = await job.outcomes()
+                await service.drain()
+                return outcomes
+
+        first, second = run(scenario())
+        assert first.source == "memory" and first.ok
+        assert isinstance(second.result, JobCancelled)
+
+    def test_timeout_releases_job_but_evaluation_completes(self, graph, workload):
+        from repro.service import JobCancelled
+
+        point = self.point(workload)
+        worker = FakeWorker(delay_s=0.1)
+
+        async def scenario():
+            with SweepService(session=Session(arch=workload.arch), worker=worker) as service:
+                (result,) = await service.sweep([(graph, point)], timeout_s=0.01)
+                await service.drain()  # abandoned evaluation finishes anyway
+                job = await service.submit([(graph, point)])
+                (warm,) = await job.outcomes()
+                return service, result, warm
+
+        service, result, warm = run(scenario())
+        assert isinstance(result, JobCancelled)
+        assert result.reason == "timeout"
+        assert warm.ok and warm.source == "memory"  # cached by the background finish
+        assert worker.calls == 1
+        assert service.points_cancelled == 1
+
+    def test_invalid_timeout_rejected(self, graph, workload):
+        async def scenario():
+            with SweepService(session=Session(arch=workload.arch), worker=FakeWorker()) as service:
+                await service.submit([(graph, self.point(workload))], timeout_s=0.0)
+
+        with pytest.raises(SimulationError, match="timeout_s"):
+            run(scenario())

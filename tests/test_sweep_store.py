@@ -294,3 +294,128 @@ class TestFreshProcessReplay:
         # String equality of the JSON dumps is the strongest form of
         # bit-identity: every float serialized exactly the same.
         assert warm == cold
+
+
+class TestAudit:
+    """Offline integrity audit mirrors the read path's classification."""
+
+    def _seed_grid(self, workload, store):
+        session = Session(result_store=store)
+        session.sweep(_grid(workload.to_graph()), mode="serial")
+        entries = _entry_files(store)
+        assert len(entries) >= 3
+        return entries
+
+    def _battery(self, entries):
+        """Corrupt three entries three different ways; return the victims."""
+        garbage, stale, echo = entries[0], entries[1], entries[2]
+        garbage.write_bytes(b"\x00\xff not json \x80")
+        payload = json.loads(stale.read_text())
+        payload["version"] = STORE_VERSION + 1
+        stale.write_text(json.dumps(payload))
+        payload = json.loads(echo.read_text())
+        payload["key"][3] = "streamsync"  # echo no longer matches the address
+        echo.write_text(json.dumps(payload))
+        return garbage, stale, echo
+
+    def test_audit_counts_the_corruption_battery(self, workload, store):
+        entries = self._seed_grid(workload, store)
+        garbage, stale, echo = self._battery(entries)
+        audit = SweepResultStore(store.root).audit()
+        assert audit.scanned == len(entries)
+        assert audit.valid == len(entries) - 3
+        assert audit.corrupt == 2
+        assert audit.version_mismatched == 1
+        assert audit.quarantined == 0
+        assert not audit.clean
+        assert set(audit.corrupt_paths) == {str(garbage), str(echo)}
+        assert audit.version_mismatched_paths == (str(stale),)
+        assert audit.summary()["corrupt"] == 2
+        assert "2 corrupt" in audit.describe()
+        # The walk is read-only: nothing moved, nothing deleted.
+        assert _entry_files(store) == entries
+
+    def test_clean_store_audits_clean(self, workload, store):
+        entries = self._seed_grid(workload, store)
+        audit = store.audit()
+        assert audit.clean
+        assert audit.valid == audit.scanned == len(entries)
+        assert audit.corrupt_paths == ()
+
+    def test_quarantine_moves_corrupt_out_of_the_read_path(self, workload, store):
+        from repro.service import QUARANTINE_DIR
+
+        entries = self._seed_grid(workload, store)
+        garbage, stale, echo = self._battery(entries)
+        audit = store.audit(quarantine=True)
+        assert audit.quarantined == audit.corrupt == 2
+        assert audit.clean
+        # Corrupt files moved, never deleted; version mismatch stays put.
+        assert not garbage.exists() and not echo.exists()
+        assert (store.root / QUARANTINE_DIR / garbage.name).exists()
+        assert (store.root / QUARANTINE_DIR / echo.name).exists()
+        assert stale.exists()
+        # Quarantined entries are invisible to the normal read/walk path.
+        assert len(_entry_files(store)) == len(entries) - 2
+        reaudit = SweepResultStore(store.root).audit()
+        assert reaudit.scanned == len(entries) - 2
+        assert reaudit.corrupt == 0
+        # Reads of the quarantined keys are now plain misses, not
+        # corruption events.
+        reader = SweepResultStore(store.root)
+        for result in (
+            reader.get(("sweep-result/v1", "missing")),
+        ):
+            assert result is None
+        assert reader.corrupt_entries == 0
+
+    def test_empty_or_missing_root_audits_clean(self, tmp_path):
+        audit = SweepResultStore(tmp_path / "never-written").audit()
+        assert audit.scanned == 0 and audit.clean
+
+
+class TestAuditCli:
+    """``python -m repro.service.audit`` wraps the audit for cron/CI."""
+
+    def _seed_and_corrupt(self, workload, store):
+        session = Session(result_store=store)
+        session.sweep(_grid(workload.to_graph()), mode="serial")
+        victim = _entry_files(store)[0]
+        victim.write_bytes(b"garbage")
+        return victim
+
+    def test_cli_reports_corruption_and_exits_nonzero(self, workload, store, capsys):
+        from repro.service.audit import main
+
+        victim = self._seed_and_corrupt(workload, store)
+        assert main([str(store.root)]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out
+        assert str(victim) in out
+        assert victim.exists()  # report-only: nothing moved
+
+    def test_cli_quarantine_then_clean(self, workload, store, capsys):
+        from repro.service.audit import main
+
+        victim = self._seed_and_corrupt(workload, store)
+        assert main([str(store.root), "--quarantine"]) == 0
+        assert not victim.exists()
+        assert main([str(store.root)]) == 0  # read path is clean now
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+
+    def test_cli_json_output(self, workload, store, capsys):
+        from repro.service.audit import main
+
+        self._seed_and_corrupt(workload, store)
+        assert main([str(store.root), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["corrupt"] == 1
+        assert len(payload["corrupt_paths"]) == 1
+
+    def test_cli_rejects_missing_root(self, tmp_path):
+        from repro.service.audit import main
+
+        with pytest.raises(SystemExit) as info:
+            main([str(tmp_path / "nowhere")])
+        assert info.value.code == 2
